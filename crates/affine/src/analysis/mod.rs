@@ -1,0 +1,15 @@
+//! Polyhedral-style analyses over the affine IR.
+//!
+//! * [`dependence`] — distance-vector dependence analysis classifying each
+//!   loop dimension as parallel or serial (§IV-K of the paper relies on
+//!   this classification "via dependence analysis").
+//! * [`access`] — memory access-pattern analysis: stride-1 / CMA loop
+//!   selection (§IV-D), the L1 vs shared-memory reference split (§IV-E),
+//!   distinct-cache-line reference counting (§IV-G) and the `H_i`
+//!   objective weights (§IV-K). Reproduces Table II of the paper.
+
+pub mod access;
+pub mod dependence;
+
+pub use access::{AccessAnalysis, MemoryKind, RefGroup, ReuseKind};
+pub use dependence::{parallel_dims, DepDistance, Dependence};

@@ -1,0 +1,753 @@
+//! Parser for a small affine-C dialect.
+//!
+//! All benchmark kernels in the reproduction are declared in this dialect,
+//! which captures exactly the program fragment EATSS and PPCG reason about:
+//! perfectly nested loops with affine subscripts.
+//!
+//! ```text
+//! program := kernel+
+//! kernel  := "kernel" IDENT "(" IDENT ("," IDENT)* ")" "{" loop "}"
+//! loop    := "for" ["seq"] "(" IDENT ":" extent ")" body
+//! extent  := IDENT | INT
+//! body    := loop | "{" stmt+ "}" | stmt
+//! stmt    := ref ("=" | "+=") expr ";"
+//! ref     := IDENT ("[" affine "]")*
+//! affine  := ["-"] aterm (("+" | "-") aterm)*
+//! aterm   := INT ["*" IDENT] | IDENT ["*" INT]
+//! expr    := unary (("+" | "-" | "*" | "/") unary)*
+//! unary   := ["-"] (ref | NUMBER | "(" expr ")")
+//! ```
+//!
+//! `for seq (t: T)` marks a loop as serial — used for stencil time loops,
+//! whose inter-statement carried dependences the single-nest IR does not
+//! represent (see DESIGN.md).
+
+use crate::ir::{AffineExpr, ArrayRef, Extent, Kernel, LoopDim, Program, RhsExpr, Statement};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Punct(&'static str),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(v) => write!(f, "`{v}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.src[self.pos];
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("ascii ident")
+                .to_owned();
+            return Ok((Tok::Ident(s), line, col));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    self.bump();
+                } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| ParseError {
+                    line,
+                    col,
+                    message: format!("invalid float literal `{text}`"),
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| ParseError {
+                    line,
+                    col,
+                    message: format!("invalid integer literal `{text}`"),
+                })?)
+            };
+            return Ok((tok, line, col));
+        }
+        // Punctuation (longest match first).
+        if c == b'+' && self.peek2() == Some(b'=') {
+            self.bump();
+            self.bump();
+            return Ok((Tok::Punct("+="), line, col));
+        }
+        let single: &'static str = match c {
+            b'(' => "(",
+            b')' => ")",
+            b'{' => "{",
+            b'}' => "}",
+            b'[' => "[",
+            b']' => "]",
+            b',' => ",",
+            b';' => ";",
+            b':' => ":",
+            b'=' => "=",
+            b'+' => "+",
+            b'-' => "-",
+            b'*' => "*",
+            b'/' => "/",
+            other => {
+                return Err(ParseError {
+                    line,
+                    col,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        self.bump();
+        Ok((Tok::Punct(single), line, col))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize, usize)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::new();
+        loop {
+            let t = lexer.next_token()?;
+            let eof = matches!(t.0, Tok::Eof);
+            tokens.push(t);
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { tokens, idx: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.idx].0
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let (_, l, c) = &self.tokens[self.idx];
+        (*l, *c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.idx].0.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found {other}"))),
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Tok::Ident(_) => match self.bump() {
+                Tok::Ident(s) => Ok(s),
+                _ => unreachable!("peeked ident"),
+            },
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected keyword `{kw}`, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn parse_program(&mut self, name: &str) -> Result<Program, ParseError> {
+        let mut kernels = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            kernels.push(self.parse_kernel()?);
+        }
+        if kernels.is_empty() {
+            return Err(self.err("expected at least one `kernel` declaration"));
+        }
+        Ok(Program {
+            name: name.to_owned(),
+            kernels,
+        })
+    }
+
+    fn parse_kernel(&mut self) -> Result<Kernel, ParseError> {
+        self.eat_keyword("kernel")?;
+        let name = self.eat_ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::Punct(")")) {
+            loop {
+                params.push(self.eat_ident()?);
+                if !self.try_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(")")?;
+        self.eat_punct("{")?;
+        let mut dims: Vec<LoopDim> = Vec::new();
+        let stmts = self.parse_loop(&params, &mut dims)?;
+        self.eat_punct("}")?;
+        Ok(Kernel { name, dims, stmts })
+    }
+
+    fn parse_loop(
+        &mut self,
+        params: &[String],
+        dims: &mut Vec<LoopDim>,
+    ) -> Result<Vec<Statement>, ParseError> {
+        self.eat_keyword("for")?;
+        let explicit_serial = if self.at_keyword("seq") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.eat_punct("(")?;
+        let iter = self.eat_ident()?;
+        if dims.iter().any(|d| d.name == iter) {
+            return Err(self.err(format!("duplicate loop iterator `{iter}`")));
+        }
+        if params.contains(&iter) {
+            return Err(self.err(format!(
+                "loop iterator `{iter}` shadows a problem-size parameter"
+            )));
+        }
+        self.eat_punct(":")?;
+        let extent = match self.bump() {
+            Tok::Int(v) => Extent::Const(v),
+            Tok::Ident(p) => {
+                if !params.contains(&p) {
+                    return Err(self.err(format!("unknown extent parameter `{p}`")));
+                }
+                Extent::Param(p)
+            }
+            other => return Err(self.err(format!("expected loop extent, found {other}"))),
+        };
+        self.eat_punct(")")?;
+        dims.push(LoopDim {
+            name: iter,
+            extent,
+            explicit_serial,
+        });
+        // body
+        if self.at_keyword("for") {
+            return self.parse_loop(params, dims);
+        }
+        if self.try_punct("{") {
+            if self.at_keyword("for") {
+                return Err(self.err(
+                    "imperfectly nested loops are not supported: a braced body must \
+                     contain statements only",
+                ));
+            }
+            let mut stmts = Vec::new();
+            while !matches!(self.peek(), Tok::Punct("}")) {
+                stmts.push(self.parse_stmt(dims)?);
+            }
+            self.eat_punct("}")?;
+            if stmts.is_empty() {
+                return Err(self.err("loop body has no statements"));
+            }
+            Ok(stmts)
+        } else {
+            Ok(vec![self.parse_stmt(dims)?])
+        }
+    }
+
+    fn parse_stmt(&mut self, dims: &[LoopDim]) -> Result<Statement, ParseError> {
+        let write = self.parse_ref(dims)?;
+        let is_accumulation = if self.try_punct("+=") {
+            true
+        } else {
+            self.eat_punct("=")?;
+            false
+        };
+        let mut reads = Vec::new();
+        let mut flops = u32::from(is_accumulation);
+        let rhs = self.parse_expr(dims, &mut reads, &mut flops)?;
+        self.eat_punct(";")?;
+        Ok(Statement {
+            write,
+            reads,
+            rhs,
+            is_accumulation,
+            flops,
+        })
+    }
+
+    /// expr := unary (binop unary)*  (left-associative, no precedence —
+    /// adequate for rendering the benchmark kernels' bodies)
+    fn parse_expr(
+        &mut self,
+        dims: &[LoopDim],
+        reads: &mut Vec<ArrayRef>,
+        flops: &mut u32,
+    ) -> Result<RhsExpr, ParseError> {
+        let mut lhs = self.parse_unary(dims, reads, flops)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct(p) if matches!(*p, "+" | "-" | "*" | "/") => {
+                    p.chars().next().expect("single-char operator")
+                }
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            *flops += 1;
+            let rhs = self.parse_unary(dims, reads, flops)?;
+            lhs = RhsExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(
+        &mut self,
+        dims: &[LoopDim],
+        reads: &mut Vec<ArrayRef>,
+        flops: &mut u32,
+    ) -> Result<RhsExpr, ParseError> {
+        let negated = self.try_punct("-");
+        let inner = match self.peek() {
+            Tok::Int(_) | Tok::Float(_) => match self.bump() {
+                Tok::Int(v) => RhsExpr::Num(v as f64),
+                Tok::Float(v) => RhsExpr::Num(v),
+                _ => unreachable!("peeked number"),
+            },
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.parse_expr(dims, reads, flops)?;
+                self.eat_punct(")")?;
+                e
+            }
+            Tok::Ident(_) => {
+                let r = self.parse_ref(dims)?;
+                reads.push(r);
+                RhsExpr::Ref(reads.len() - 1)
+            }
+            other => return Err(self.err(format!("expected operand, found {other}"))),
+        };
+        Ok(if negated {
+            RhsExpr::Neg(Box::new(inner))
+        } else {
+            inner
+        })
+    }
+
+    fn parse_ref(&mut self, dims: &[LoopDim]) -> Result<ArrayRef, ParseError> {
+        let array = self.eat_ident()?;
+        let mut subscripts = Vec::new();
+        while self.try_punct("[") {
+            subscripts.push(self.parse_affine(dims)?);
+            self.eat_punct("]")?;
+        }
+        Ok(ArrayRef { array, subscripts })
+    }
+
+    /// affine := ["-"] aterm (("+"|"-") aterm)*
+    fn parse_affine(&mut self, dims: &[LoopDim]) -> Result<AffineExpr, ParseError> {
+        let mut expr = AffineExpr::constant(0);
+        let mut sign: i64 = if self.try_punct("-") { -1 } else { 1 };
+        loop {
+            self.parse_aterm(dims, sign, &mut expr)?;
+            if self.try_punct("+") {
+                sign = 1;
+            } else if self.try_punct("-") {
+                sign = -1;
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    /// aterm := INT ["*" IDENT] | IDENT ["*" INT]
+    fn parse_aterm(
+        &mut self,
+        dims: &[LoopDim],
+        sign: i64,
+        expr: &mut AffineExpr,
+    ) -> Result<(), ParseError> {
+        match self.bump() {
+            Tok::Int(v) => {
+                if self.try_punct("*") {
+                    let name = self.eat_ident()?;
+                    let dim = self.lookup_dim(dims, &name)?;
+                    expr.add_term(dim, sign * v);
+                } else {
+                    expr.add_constant(sign * v);
+                }
+                Ok(())
+            }
+            Tok::Ident(name) => {
+                let dim = self.lookup_dim(dims, &name)?;
+                if self.try_punct("*") {
+                    match self.bump() {
+                        Tok::Int(v) => expr.add_term(dim, sign * v),
+                        other => {
+                            return Err(
+                                self.err(format!("expected integer coefficient, found {other}"))
+                            )
+                        }
+                    }
+                } else {
+                    expr.add_term(dim, sign);
+                }
+                Ok(())
+            }
+            other => Err(self.err(format!("expected affine term, found {other}"))),
+        }
+    }
+
+    fn lookup_dim(&self, dims: &[LoopDim], name: &str) -> Result<usize, ParseError> {
+        dims.iter().position(|d| d.name == name).ok_or_else(|| {
+            self.err(format!(
+                "`{name}` is not a loop iterator in scope (subscripts must be \
+                 affine in the iterators)"
+            ))
+        })
+    }
+}
+
+/// Parses a program from source; the program name is derived from the
+/// first kernel's name.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use eatss_affine::parser::parse_program;
+///
+/// let p = parse_program("kernel axpy(N) { for (i: N) y[i] += a * x[i]; }")?;
+/// assert_eq!(p.name, "axpy");
+/// assert_eq!(p.kernels[0].depth(), 1);
+/// # Ok::<(), eatss_affine::parser::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let mut program = parser.parse_program("")?;
+    program.name = program.kernels[0].name.clone();
+    Ok(program)
+}
+
+/// Parses a program and overrides its name.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_program`].
+pub fn parse_named_program(name: &str, src: &str) -> Result<Program, ParseError> {
+    let mut parser = Parser::new(src)?;
+    parser.parse_program(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matmul() {
+        let p = parse_program(
+            "kernel matmul(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 Out[i][j] += In[i][k] * Ker[k][j];
+             }",
+        )
+        .unwrap();
+        let k = &p.kernels[0];
+        assert_eq!(k.name, "matmul");
+        assert_eq!(k.depth(), 3);
+        assert_eq!(k.dims[0].name, "i");
+        assert_eq!(k.dims[2].extent, Extent::Param("P".into()));
+        let s = &k.stmts[0];
+        assert!(s.is_accumulation);
+        assert_eq!(s.flops, 2);
+        assert_eq!(s.write.array, "Out");
+        assert_eq!(s.reads.len(), 2);
+        assert_eq!(s.reads[0].subscripts[1], AffineExpr::var(2));
+    }
+
+    #[test]
+    fn parses_stencil_with_offsets_and_floats() {
+        let p = parse_program(
+            "kernel jacobi(N) {
+               for (i: N) for (j: N)
+                 B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+             }",
+        )
+        .unwrap();
+        let s = &p.kernels[0].stmts[0];
+        assert!(!s.is_accumulation);
+        assert_eq!(s.reads.len(), 5);
+        assert_eq!(s.reads[1].subscripts[1].offset(), -1);
+        assert_eq!(s.reads[4].subscripts[0].offset(), -1);
+        assert_eq!(s.flops, 5); // one mul + four adds
+    }
+
+    #[test]
+    fn parses_seq_loop_marker() {
+        let p = parse_program(
+            "kernel heat(T, N) {
+               for seq (t: T) for (i: N)
+                 A[i] = A[i-1] + A[i+1];
+             }",
+        )
+        .unwrap();
+        assert!(p.kernels[0].dims[0].explicit_serial);
+        assert!(!p.kernels[0].dims[1].explicit_serial);
+    }
+
+    #[test]
+    fn parses_multiple_kernels_and_blocks() {
+        let p = parse_named_program(
+            "2mm",
+            "kernel mm1(NI, NJ, NK) {
+               for (i: NI) for (j: NJ) for (k: NK)
+                 tmp[i][j] += alpha * A[i][k] * B[k][j];
+             }
+             kernel mm2(NI, NL, NJ) {
+               for (i: NI) for (j: NL) for (k: NJ) {
+                 D[i][j] += tmp[i][k] * C[k][j];
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.name, "2mm");
+        assert_eq!(p.kernels.len(), 2);
+        // `alpha` is a scalar read.
+        assert!(p.kernels[0].stmts[0].reads[0].subscripts.is_empty());
+    }
+
+    #[test]
+    fn parses_coefficient_subscripts() {
+        let p = parse_program(
+            "kernel strided(N) {
+               for (i: N) A[2*i] = B[i*3+1] + B[4];
+             }",
+        )
+        .unwrap();
+        let s = &p.kernels[0].stmts[0];
+        assert_eq!(s.write.subscripts[0].coeff(0), 2);
+        assert_eq!(s.reads[0].subscripts[0].coeff(0), 3);
+        assert_eq!(s.reads[0].subscripts[0].offset(), 1);
+        assert_eq!(s.reads[1].subscripts[0].offset(), 4);
+    }
+
+    #[test]
+    fn parses_negative_leading_subscript() {
+        let p = parse_program("kernel f(N) { for (i: N) A[-i+5] = B[i]; }").unwrap();
+        let sub = &p.kernels[0].stmts[0].write.subscripts[0];
+        assert_eq!(sub.coeff(0), -1);
+        assert_eq!(sub.offset(), 5);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program(
+            "// leading comment
+             kernel f(N) { // trailing
+               for (i: N) A[i] = B[i]; // stmt
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.kernels[0].stmts.len(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_iterator_in_subscript() {
+        let e = parse_program("kernel f(N) { for (i: N) A[z] = B[i]; }").unwrap_err();
+        assert!(e.message.contains("`z`"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn error_on_unknown_extent() {
+        let e = parse_program("kernel f(N) { for (i: M) A[i] = B[i]; }").unwrap_err();
+        assert!(e.message.contains("unknown extent parameter `M`"));
+    }
+
+    #[test]
+    fn error_on_duplicate_iterator() {
+        let e =
+            parse_program("kernel f(N) { for (i: N) for (i: N) A[i] = B[i]; }").unwrap_err();
+        assert!(e.message.contains("duplicate loop iterator"));
+    }
+
+    #[test]
+    fn error_on_imperfect_nest() {
+        let e = parse_program(
+            "kernel f(N) { for (i: N) { for (j: N) A[i][j] = B[i][j]; } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("imperfectly nested"));
+    }
+
+    #[test]
+    fn error_on_empty_body_and_empty_program() {
+        assert!(parse_program("kernel f(N) { for (i: N) { } }").is_err());
+        assert!(parse_program("   ").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_program("kernel f(N) {\n  for (i: N)\n    A[i] $ B[i];\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn const_extent_is_allowed() {
+        let p = parse_program("kernel f() { for (i: 128) A[i] = B[i]; }").unwrap();
+        assert_eq!(p.kernels[0].dims[0].extent, Extent::Const(128));
+    }
+
+    #[test]
+    fn iterator_shadowing_parameter_is_rejected() {
+        let e = parse_program("kernel f(N) { for (N: N) A[N] = B[N]; }").unwrap_err();
+        assert!(e.message.contains("shadows"));
+    }
+
+    #[test]
+    fn division_counts_as_flop() {
+        let p = parse_program("kernel f(N) { for (i: N) A[i] = B[i] / 3 + 1; }").unwrap();
+        assert_eq!(p.kernels[0].stmts[0].flops, 2);
+    }
+}

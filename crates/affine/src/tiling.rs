@@ -1,0 +1,342 @@
+//! The loop tiling transformation.
+//!
+//! Tiling rewrites a depth-`L` nest into `L` *tile loops* (stepping by the
+//! tile size) around `L` *point loops* (bounded by `min(N, t + T)` guards),
+//! exactly as in Fig. 4 of the paper. The [`TiledNest`] produced here is
+//! consumed by the PPCG stand-in's GPU mapper and code generator, and by
+//! the GPU simulator's traffic model.
+
+use crate::ir::{Kernel, ProblemSizes};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing a tiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TilingError {
+    /// Number of tile sizes does not match the loop depth.
+    WrongArity {
+        /// Loop-nest depth.
+        expected: usize,
+        /// Number of tile sizes supplied.
+        got: usize,
+    },
+    /// A tile size was zero or negative.
+    NonPositiveTile {
+        /// Dimension of the offending size.
+        dim: usize,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} tile sizes, got {got}")
+            }
+            TilingError::NonPositiveTile { dim, value } => {
+                write!(f, "tile size for dimension {dim} must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for TilingError {}
+
+/// A tile-size configuration: one size per loop dimension, outermost
+/// first.
+///
+/// # Examples
+///
+/// ```
+/// use eatss_affine::tiling::TileConfig;
+///
+/// let cfg = TileConfig::new(vec![32, 64, 16]);
+/// assert_eq!(cfg.sizes(), &[32, 64, 16]);
+/// // The paper's default-PPCG baseline is 32^d.
+/// assert_eq!(TileConfig::ppcg_default(3).sizes(), &[32, 32, 32]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    sizes: Vec<i64>,
+}
+
+impl TileConfig {
+    /// Creates a configuration from explicit sizes.
+    pub fn new(sizes: Vec<i64>) -> Self {
+        TileConfig { sizes }
+    }
+
+    /// The paper's default PPCG configuration: `32^depth`.
+    pub fn ppcg_default(depth: usize) -> Self {
+        TileConfig {
+            sizes: vec![32; depth],
+        }
+    }
+
+    /// The tile sizes, outermost dimension first.
+    pub fn sizes(&self) -> &[i64] {
+        &self.sizes
+    }
+
+    /// Number of dimensions covered.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether no sizes are present.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The first `depth` sizes, for applying a program-wide configuration
+    /// to a shallower kernel (2mm shares one triple across both matmuls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` exceeds the configuration length.
+    pub fn truncated(&self, depth: usize) -> TileConfig {
+        TileConfig {
+            sizes: self.sizes[..depth].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for TileConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.sizes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A kernel together with a validated tiling of its loop nest.
+#[derive(Debug, Clone)]
+pub struct TiledNest {
+    /// The untiled kernel.
+    pub kernel: Kernel,
+    /// Validated tile sizes (same arity as the kernel depth).
+    pub tiles: TileConfig,
+}
+
+impl TiledNest {
+    /// Applies `tiles` to `kernel`, validating arity and positivity.
+    ///
+    /// Tile sizes larger than a dimension's trip count are legal (the
+    /// point loop's `min` guard clips them), matching PPCG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError`] on arity mismatch or non-positive sizes.
+    pub fn new(kernel: &Kernel, tiles: &TileConfig) -> Result<Self, TilingError> {
+        if tiles.len() != kernel.depth() {
+            return Err(TilingError::WrongArity {
+                expected: kernel.depth(),
+                got: tiles.len(),
+            });
+        }
+        for (dim, &value) in tiles.sizes().iter().enumerate() {
+            if value <= 0 {
+                return Err(TilingError::NonPositiveTile { dim, value });
+            }
+        }
+        Ok(TiledNest {
+            kernel: kernel.clone(),
+            tiles: tiles.clone(),
+        })
+    }
+
+    /// Tile size of dimension `dim`.
+    pub fn tile(&self, dim: usize) -> i64 {
+        self.tiles.sizes()[dim]
+    }
+
+    /// Number of tiles along dimension `dim` under `sizes`
+    /// (`ceil(N / T)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unbound parameter name.
+    pub fn num_tiles(&self, dim: usize, sizes: &ProblemSizes) -> Result<i64, String> {
+        let n = self.kernel.trip_count(dim, sizes)?;
+        Ok(div_ceil(n, self.tile(dim)))
+    }
+
+    /// Effective (clipped) tile extent along `dim`: `min(T, N)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unbound parameter name.
+    pub fn clipped_tile(&self, dim: usize, sizes: &ProblemSizes) -> Result<i64, String> {
+        let n = self.kernel.trip_count(dim, sizes)?;
+        Ok(self.tile(dim).min(n))
+    }
+
+    /// Total number of tiles (product over all dimensions).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unbound parameter name.
+    pub fn total_tiles(&self, sizes: &ProblemSizes) -> Result<i64, String> {
+        let mut total = 1i64;
+        for d in 0..self.kernel.depth() {
+            total = total.saturating_mul(self.num_tiles(d, sizes)?);
+        }
+        Ok(total)
+    }
+
+    /// Enumerates every iteration point by walking tile loops then point
+    /// loops with `min` guards — the loop structure of Fig. 4. Intended
+    /// for small problem sizes in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unbound parameter name.
+    pub fn enumerate_points(&self, sizes: &ProblemSizes) -> Result<Vec<Vec<i64>>, String> {
+        let depth = self.kernel.depth();
+        let trips: Vec<i64> = (0..depth)
+            .map(|d| self.kernel.trip_count(d, sizes))
+            .collect::<Result<_, _>>()?;
+        let mut points = Vec::new();
+        let mut tile_origin = vec![0i64; depth];
+        self.walk_tiles(&trips, 0, &mut tile_origin, &mut points);
+        Ok(points)
+    }
+
+    fn walk_tiles(
+        &self,
+        trips: &[i64],
+        dim: usize,
+        origin: &mut Vec<i64>,
+        points: &mut Vec<Vec<i64>>,
+    ) {
+        if dim == trips.len() {
+            let mut point = origin.clone();
+            self.walk_points(trips, 0, origin, &mut point, points);
+            return;
+        }
+        let step = self.tile(dim);
+        let mut t = 0;
+        while t < trips[dim] {
+            origin[dim] = t;
+            self.walk_tiles(trips, dim + 1, origin, points);
+            t += step;
+        }
+    }
+
+    fn walk_points(
+        &self,
+        trips: &[i64],
+        dim: usize,
+        origin: &[i64],
+        point: &mut Vec<i64>,
+        points: &mut Vec<Vec<i64>>,
+    ) {
+        if dim == trips.len() {
+            points.push(point.clone());
+            return;
+        }
+        let upper = trips[dim].min(origin[dim] + self.tile(dim));
+        for v in origin[dim]..upper {
+            point[dim] = v;
+            self.walk_points(trips, dim + 1, origin, point, points);
+        }
+    }
+}
+
+/// Ceiling division for positive divisors.
+pub fn div_ceil(n: i64, d: i64) -> i64 {
+    debug_assert!(d > 0, "div_ceil requires a positive divisor");
+    (n + d - 1).div_euclid(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn matmul() -> Kernel {
+        parse_program(
+            "kernel mm(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 C[i][j] += A[i][k] * B[k][j];
+             }",
+        )
+        .unwrap()
+        .kernels
+        .remove(0)
+    }
+
+    #[test]
+    fn arity_and_positivity_are_validated() {
+        let k = matmul();
+        assert!(matches!(
+            TiledNest::new(&k, &TileConfig::new(vec![32, 32])),
+            Err(TilingError::WrongArity { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            TiledNest::new(&k, &TileConfig::new(vec![32, 0, 32])),
+            Err(TilingError::NonPositiveTile { dim: 1, value: 0 })
+        ));
+    }
+
+    #[test]
+    fn tile_counts_round_up() {
+        let k = matmul();
+        let t = TiledNest::new(&k, &TileConfig::new(vec![32, 64, 16])).unwrap();
+        let sizes = ProblemSizes::new([("M", 100), ("N", 64), ("P", 17)]);
+        assert_eq!(t.num_tiles(0, &sizes).unwrap(), 4); // ceil(100/32)
+        assert_eq!(t.num_tiles(1, &sizes).unwrap(), 1);
+        assert_eq!(t.num_tiles(2, &sizes).unwrap(), 2); // ceil(17/16)
+        assert_eq!(t.total_tiles(&sizes).unwrap(), 8);
+        assert_eq!(t.clipped_tile(1, &sizes).unwrap(), 64);
+        assert_eq!(t.clipped_tile(0, &sizes).unwrap(), 32);
+    }
+
+    #[test]
+    fn oversized_tiles_are_clipped() {
+        let k = matmul();
+        let t = TiledNest::new(&k, &TileConfig::new(vec![1024, 1024, 1024])).unwrap();
+        let sizes = ProblemSizes::new([("M", 10), ("N", 10), ("P", 10)]);
+        assert_eq!(t.total_tiles(&sizes).unwrap(), 1);
+        assert_eq!(t.clipped_tile(0, &sizes).unwrap(), 10);
+    }
+
+    #[test]
+    fn enumeration_preserves_iteration_space() {
+        let k = matmul();
+        let sizes = ProblemSizes::new([("M", 7), ("N", 5), ("P", 9)]);
+        let t = TiledNest::new(&k, &TileConfig::new(vec![3, 2, 4])).unwrap();
+        let mut pts = t.enumerate_points(&sizes).unwrap();
+        assert_eq!(pts.len() as i64, 7 * 5 * 9);
+        pts.sort();
+        pts.dedup();
+        assert_eq!(pts.len() as i64, 7 * 5 * 9, "no duplicates");
+        // Every point must be within bounds.
+        assert!(pts
+            .iter()
+            .all(|p| p[0] < 7 && p[1] < 5 && p[2] < 9 && p.iter().all(|&v| v >= 0)));
+    }
+
+    #[test]
+    fn display_and_default() {
+        let cfg = TileConfig::ppcg_default(2);
+        assert_eq!(cfg.to_string(), "(32, 32)");
+        assert!(!cfg.is_empty());
+        assert_eq!(cfg.truncated(1).sizes(), &[32]);
+    }
+
+    #[test]
+    fn div_ceil_edge_cases() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench of the validation-scale LRU cache simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eatss_gpusim::CacheSim;
+use std::hint::black_box;
+
+fn bench_access_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    let n: u64 = 100_000;
+    group.throughput(Throughput::Elements(n));
+    for (label, stride) in [("sequential", 8u64), ("strided-512", 512), ("pathological", 4096)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut sim = CacheSim::new(128 * 1024, 128, 8);
+                for i in 0..n {
+                    sim.access(black_box(i * stride % (1 << 24)));
+                }
+                sim.stats()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiled_sweep(c: &mut Criterion) {
+    // The ground-truth experiment behind the analytic residency rules:
+    // a tiled B[k][j] sweep.
+    c.bench_function("cachesim_tiled_matmul_sweep", |b| {
+        b.iter(|| {
+            let n: u64 = 64;
+            let tile = 8u64;
+            let mut sim = CacheSim::fully_associative(16 * 1024, 64);
+            for jj in (0..n).step_by(tile as usize) {
+                for _i in 0..n {
+                    for j in jj..(jj + tile).min(n) {
+                        for k in 0..n {
+                            sim.access((k * n + j) * 8);
+                        }
+                    }
+                }
+            }
+            black_box(sim.stats())
+        });
+    });
+}
+
+criterion_group!(benches, bench_access_patterns, bench_tiled_sweep);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench of the GPU-model simulation throughput (the paper's
+//! exploratory studies run hundreds of variants per benchmark, so each
+//! simulation must be cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eatss_gpusim::{Gpu, GpuArch, KernelExecSpec, RefAccess};
+use std::hint::black_box;
+
+fn gemm_spec() -> KernelExecSpec {
+    let n: i64 = 4000;
+    KernelExecSpec {
+        name: "bench-gemm".into(),
+        grid_blocks: 15_625,
+        grid_x_blocks: 125,
+        threads_per_block: 512,
+        points_per_thread: 2,
+        serial_steps_per_block: 125,
+        flops_total: 2.0 * (n as f64).powi(3),
+        elem_bytes: 8,
+        shared_bytes_per_block: 8 * 1024,
+        l1_avail_bytes: 96 * 1024,
+        num_refs: 3,
+        refs: vec![
+            RefAccess {
+                name: "C".into(),
+                staged_shared: false,
+                tile_footprint_elems: 1024,
+                block_footprint_elems: 1024,
+                total_footprint_elems: n * n,
+                accesses_per_block: 1024 * 125,
+                coalesced: true,
+                contiguous_x_elems: n,
+                varies_block_x: true,
+                varies_block_y: true,
+                is_write: true,
+            },
+            RefAccess {
+                name: "A".into(),
+                staged_shared: true,
+                tile_footprint_elems: 1024,
+                block_footprint_elems: 32 * n,
+                total_footprint_elems: n * n,
+                accesses_per_block: 1024 * n,
+                coalesced: true,
+                contiguous_x_elems: n,
+                varies_block_x: false,
+                varies_block_y: true,
+                is_write: false,
+            },
+            RefAccess {
+                name: "B".into(),
+                staged_shared: false,
+                tile_footprint_elems: 1024,
+                block_footprint_elems: 32 * n,
+                total_footprint_elems: n * n,
+                accesses_per_block: 1024 * n,
+                coalesced: true,
+                contiguous_x_elems: n,
+                varies_block_x: true,
+                varies_block_y: false,
+                is_write: false,
+            },
+        ],
+    }
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let gpu = Gpu::new(GpuArch::ga100());
+    let spec = gemm_spec();
+    c.bench_function("simulate_single_launch", |b| {
+        b.iter(|| gpu.simulate(black_box(&spec)))
+    });
+}
+
+fn bench_simulate_program(c: &mut Criterion) {
+    let gpu = Gpu::new(GpuArch::ga100());
+    let specs = vec![gemm_spec(); 8];
+    c.bench_function("simulate_program_of_8_kernels", |b| {
+        b.iter(|| gpu.simulate_program(black_box(&specs)))
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_simulate_program);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench of the full EATSS pipeline (model → solve → compile →
+//! simulate), per kernel class — the end-to-end cost §V-G compares
+//! against autotuning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatss::{Eatss, EatssConfig};
+use eatss_gpusim::GpuArch;
+use eatss_kernels::Dataset;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let eatss = Eatss::new(GpuArch::ga100());
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+    for name in ["gemm", "mvt", "jacobi-2d", "mttkrp"] {
+        let b = eatss_kernels::by_name(name).expect("registered");
+        let program = b.program().expect("parses");
+        let sizes = b.sizes(Dataset::ExtraLarge);
+        let config = EatssConfig {
+            warp_fraction: if program.max_depth() > 3 { 0.125 } else { 0.5 },
+            ..EatssConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |bench, p| {
+            bench.iter(|| {
+                let solution = eatss
+                    .select_tiles(black_box(p), &sizes, &config)
+                    .expect("feasible");
+                eatss
+                    .evaluate(p, &solution.tiles, &sizes, &config)
+                    .expect("compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate_only(c: &mut Criterion) {
+    let eatss = Eatss::new(GpuArch::ga100());
+    let b = eatss_kernels::by_name("2mm").expect("registered");
+    let program = b.program().expect("parses");
+    let sizes = b.sizes(Dataset::ExtraLarge);
+    let config = EatssConfig::default();
+    let tiles = eatss_affine::tiling::TileConfig::ppcg_default(3);
+    c.bench_function("evaluate_variant_2mm", |bench| {
+        bench.iter(|| {
+            eatss
+                .evaluate(black_box(&program), &tiles, &sizes, &config)
+                .expect("compiles")
+        });
+    });
+}
+
+criterion_group!(benches, bench_end_to_end, bench_evaluate_only);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for §V-G: per-formulation solve cost by kernel
+//! dimensionality, the stand-in for the paper's Z3 timing study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatss::{EatssConfig, ModelGenerator};
+use eatss_gpusim::GpuArch;
+use eatss_kernels::Dataset;
+use std::hint::black_box;
+
+fn bench_solve_by_depth(c: &mut Criterion) {
+    let arch = GpuArch::ga100();
+    let mut group = c.benchmark_group("eatss_solve");
+    group.sample_size(10);
+    for name in ["mvt", "gemm", "conv-2d"] {
+        let b = eatss_kernels::by_name(name).expect("registered");
+        let program = b.program().expect("parses");
+        let sizes = b.sizes(Dataset::ExtraLarge);
+        let depth = program.max_depth();
+        let config = EatssConfig {
+            warp_fraction: if depth > 3 { 0.125 } else { 0.5 },
+            ..EatssConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("iterative_maximize", format!("{name}-{depth}D")),
+            &program,
+            |bench, program| {
+                bench.iter(|| {
+                    let model = ModelGenerator::new(&arch, config.clone())
+                        .build(black_box(program), Some(&sizes))
+                        .expect("builds");
+                    black_box(model.solve().ok())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let arch = GpuArch::ga100();
+    let b = eatss_kernels::by_name("2mm").expect("registered");
+    let program = b.program().expect("parses");
+    let sizes = b.sizes(Dataset::ExtraLarge);
+    c.bench_function("eatss_model_build_2mm", |bench| {
+        bench.iter(|| {
+            ModelGenerator::new(&arch, EatssConfig::default())
+                .build(black_box(&program), Some(&sizes))
+                .expect("builds")
+        });
+    });
+}
+
+criterion_group!(benches, bench_solve_by_depth, bench_model_build);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench of tile-space exploration throughput: how fast the
+//! harness can evaluate variants (the paper explores 200–3,375 per
+//! benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eatss_gpusim::GpuArch;
+use eatss_kernels::Dataset;
+use eatss_ppcg::{CompileOptions, TileSpace};
+use std::hint::black_box;
+
+fn bench_space_exploration(c: &mut Criterion) {
+    let arch = GpuArch::ga100();
+    let b = eatss_kernels::by_name("gemm").expect("registered");
+    let program = b.program().expect("parses");
+    let sizes = b.sizes(Dataset::ExtraLarge);
+    let opts = CompileOptions::with_split(&arch, 0.5, 8);
+    let space = TileSpace::new(3, vec![8, 16, 32, 64, 128]);
+    let mut group = c.benchmark_group("tile_space");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(space.len() as u64));
+    group.bench_function("explore_gemm_125_variants", |bench| {
+        bench.iter(|| {
+            let mut best = 0.0f64;
+            for tiles in space.iter() {
+                if let Ok(r) = eatss::evaluate_program(
+                    black_box(&arch),
+                    &program,
+                    &tiles,
+                    &sizes,
+                    &opts,
+                ) {
+                    if r.valid {
+                        best = best.max(r.gflops);
+                    }
+                }
+            }
+            best
+        });
+    });
+    group.finish();
+}
+
+fn bench_enumeration_only(c: &mut Criterion) {
+    let space = TileSpace::motivation_grid(3);
+    c.bench_function("enumerate_3375_configs", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for cfg in space.iter() {
+                acc += cfg.sizes().iter().sum::<i64>();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_space_exploration, bench_enumeration_only);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! **Ablation study** (beyond the paper's figures): disable each
+//! component of the §IV formulation in turn and measure what the
+//! selected tiles lose on the GPU model. Quantifies the design choices
+//! DESIGN.md calls out:
+//!
+//! * warp alignment (§IV-B),
+//! * the register-per-SM constraint (§IV-G),
+//! * the L1/shared capacity constraints (§IV-E/J),
+//! * the spatial-locality objective term (§IV-K),
+//! * the parallelism objective term (§IV-K),
+//!
+//! plus a comparison of the §IV-L linear maximization against the
+//! binary-search extension.
+
+use eatss::{Ablation, Eatss, EatssConfig, ModelGenerator};
+use eatss_bench::table::fmt_f;
+use eatss_bench::Table;
+use eatss_gpusim::GpuArch;
+use eatss_kernels::Dataset;
+
+fn main() {
+    let arch = GpuArch::ga100();
+    let eatss = Eatss::new(arch.clone());
+    let variants: [(&str, Ablation); 6] = [
+        ("full model", Ablation::default()),
+        (
+            "- warp alignment",
+            Ablation {
+                no_warp_alignment: true,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "- register constraint",
+            Ablation {
+                no_register_constraint: true,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "- memory constraints",
+            Ablation {
+                no_memory_constraints: true,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "- spatial term",
+            Ablation {
+                no_spatial_term: true,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "- parallelism term",
+            Ablation {
+                no_parallel_term: true,
+                ..Ablation::default()
+            },
+        ),
+    ];
+    println!("Ablation: contribution of each formulation component (GA100)\n");
+    for name in ["gemm", "mttkrp", "jacobi-2d"] {
+        let b = eatss_kernels::by_name(name).expect("registered");
+        let program = b.program().expect("parses");
+        let sizes = b.sizes(Dataset::ExtraLarge);
+        let config = EatssConfig {
+            warp_fraction: if program.max_depth() > 3 { 0.125 } else { 0.5 },
+            ..EatssConfig::default()
+        };
+        let mut t = Table::new(vec![
+            "variant",
+            "tiles",
+            "GFLOP/s",
+            "energy (J)",
+            "PPW",
+            "vs full",
+        ]);
+        let mut full_ppw = None;
+        for (label, ablation) in variants {
+            let model = ModelGenerator::new(&arch, config.clone())
+                .with_ablation(ablation)
+                .build(&program, Some(&sizes))
+                .expect("model builds");
+            let row = match model.solve() {
+                Ok(solution) => {
+                    let report = eatss
+                        .evaluate(&program, &solution.tiles, &sizes, &config)
+                        .expect("selection compiles");
+                    if label == "full model" {
+                        full_ppw = Some(report.ppw);
+                    }
+                    let rel = full_ppw
+                        .map(|f| report.ppw / f)
+                        .unwrap_or(f64::NAN);
+                    if report.valid {
+                        vec![
+                            label.into(),
+                            solution.tiles.to_string(),
+                            fmt_f(report.gflops),
+                            fmt_f(report.energy_j),
+                            fmt_f(report.ppw),
+                            fmt_f(rel),
+                        ]
+                    } else {
+                        vec![
+                            label.into(),
+                            solution.tiles.to_string(),
+                            "unexecutable".into(),
+                        ]
+                    }
+                }
+                Err(e) => vec![label.into(), format!("infeasible: {e}")],
+            };
+            t.row(row);
+        }
+        println!("--- {name} ---");
+        println!("{}", t.render());
+    }
+
+    // Linear (§IV-L) vs binary-search maximization.
+    println!("Maximization strategy: §IV-L linear climb vs binary search\n");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "linear calls",
+        "binary calls",
+        "same optimum",
+    ]);
+    for name in ["gemm", "covariance", "conv-2d", "mttkrp"] {
+        let b = eatss_kernels::by_name(name).expect("registered");
+        let program = b.program().expect("parses");
+        let sizes = b.sizes(Dataset::ExtraLarge);
+        let config = EatssConfig {
+            warp_fraction: if program.max_depth() > 3 { 0.125 } else { 0.5 },
+            ..EatssConfig::default()
+        };
+        let linear = ModelGenerator::new(&arch, config.clone())
+            .build(&program, Some(&sizes))
+            .expect("builds")
+            .solve();
+        let binary = ModelGenerator::new(&arch, config.clone())
+            .build(&program, Some(&sizes))
+            .expect("builds")
+            .solve_binary();
+        match (linear, binary) {
+            (Ok(l), Ok(bi)) => t.row(vec![
+                name.into(),
+                l.solver_calls.to_string(),
+                bi.solver_calls.to_string(),
+                (l.objective == bi.objective).to_string(),
+            ]),
+            _ => t.row(vec![name.into(), "infeasible".into()]),
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,89 @@
+//! Internal diagnostic: per-phase timing/traffic breakdown for one
+//! benchmark + tile configuration.
+
+use eatss_affine::tiling::TileConfig;
+use eatss_gpusim::{occupancy, timing, traffic, Gpu, GpuArch};
+use eatss_kernels::Dataset;
+use eatss_ppcg::{CompileOptions, Ppcg};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("gemm");
+    let tiles: Vec<i64> = args
+        .get(2)
+        .map(|s| s.split(',').map(|t| t.parse().expect("tile int")).collect())
+        .unwrap_or_else(|| vec![32, 32, 32]);
+    let arch = if args.get(3).map(String::as_str) == Some("xavier") {
+        GpuArch::xavier()
+    } else {
+        GpuArch::ga100()
+    };
+    let dataset = if arch.name == "Xavier" {
+        Dataset::Standard
+    } else {
+        Dataset::ExtraLarge
+    };
+    let b = eatss_kernels::by_name(name).expect("benchmark");
+    let program = b.program().expect("parses");
+    let sizes = b.sizes(dataset);
+    let ppcg = Ppcg::new(arch.clone());
+    let opts = CompileOptions::with_split(&arch, 0.5, 8);
+    let compiled = ppcg
+        .compile(&program, &TileConfig::new(tiles), &sizes, &opts)
+        .expect("compiles");
+    let gpu = Gpu::new(arch.clone());
+    for m in &compiled.mappings {
+        let spec = m.to_exec_spec();
+        let occ = occupancy::occupancy(&arch, &spec);
+        let tr = traffic::model(&arch, &spec, &occ);
+        let tm = timing::model(&arch, &spec, &occ, &tr);
+        let rep = gpu.simulate(&spec).repeated(m.launch_count);
+        println!(
+            "kernel {}: grid={} ({}x) tpb={} pts={} steps={} launches={} regs={} spill={}",
+            spec.name,
+            spec.grid_blocks,
+            spec.grid_x_blocks,
+            spec.threads_per_block,
+            spec.points_per_thread,
+            spec.serial_steps_per_block,
+            m.launch_count,
+            occ.regs_per_thread,
+            occ.register_spill
+        );
+        println!(
+            "  occ: bps={} occ={:.2} waves={:.1} tail={:.2}",
+            occ.blocks_per_sm, occ.occupancy, occ.waves, occ.tail_efficiency
+        );
+        println!(
+            "  traffic: l2_rd={:.2e} l2_wr={:.2e} sect, dram={:.2} GB (time {:.2} GB) shared={:.1} GB l1hit={:.1} GB thrash={} l2hit={:.2}",
+            tr.l2_sectors_read,
+            tr.l2_sectors_written,
+            tr.dram_bytes / 1e9,
+            tr.dram_time_bytes / 1e9,
+            tr.shared_bytes / 1e9,
+            tr.l1_hit_bytes / 1e9,
+            tr.l1_thrash,
+            tr.l2_hit_fraction
+        );
+        for r in &tr.per_ref {
+            println!(
+                "    ref {}: l2_req={:.2e} sect={:.2e} dram={:.2}GB roweff={:.2} thrash={}",
+                r.name,
+                r.l2_request_elems,
+                r.l2_sectors,
+                r.dram_bytes / 1e9,
+                r.row_efficiency,
+                r.l1_thrashed
+            );
+        }
+        println!(
+            "  timing: compute={:.4} l2={:.4} dram={:.4} shared={:.4} sync={:.4} total={:.4} eff={:.2}",
+            tm.compute_s, tm.l2_s, tm.dram_s, tm.shared_s, tm.sync_s, tm.total_s, tm.compute_efficiency
+        );
+        println!("  report: {rep}");
+        println!(
+            "  power: const={:.1} static={:.1} dyn={:.1} throttled={}",
+            rep.constant_power_w, rep.static_power_w, rep.dynamic_power_w, rep.dvfs_throttled
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Runs every table/figure experiment in-process and writes each output
+//! under `results/` — the one-command regeneration entry point.
+//!
+//! ```text
+//! cargo run --release -p eatss-bench --bin run_all [out-dir]
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 18] = [
+    "tab01_arch_params",
+    "tab02_access_patterns",
+    "tab03_testbed",
+    "tab04_vendor_comparison",
+    "fig01_power_vs_size",
+    "fig02_tilespace_sorted",
+    "fig03_tilespace_scatter",
+    "fig07_polybench",
+    "fig08_shmem_splits",
+    "fig09_l2_power_correlation",
+    "fig10_nonpolybench_speedup",
+    "fig11_nonpolybench_hist",
+    "fig12_size_sensitivity",
+    "fig13_size_sensitivity_np",
+    "fig14_vs_ytopt",
+    "secVg_solver_overhead",
+    "ablation_model_terms",
+    "ext_precision_study",
+];
+
+fn main() -> std::process::ExitCode {
+    let out_dir = PathBuf::from(
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "results".to_owned()),
+    );
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    // Each experiment binary lives next to this one.
+    let self_path = std::env::current_exe().expect("current exe path");
+    let bin_dir = self_path.parent().expect("exe has a parent directory");
+    let mut failures = 0;
+    for name in EXPERIMENTS {
+        let bin = bin_dir.join(name);
+        let out_file = out_dir.join(format!("{name}.txt"));
+        print!("{name:<32} ");
+        let output = Command::new(&bin).output();
+        match output {
+            Ok(output) if output.status.success() => {
+                if let Err(e) = std::fs::write(&out_file, &output.stdout) {
+                    println!("write failed: {e}");
+                    failures += 1;
+                } else {
+                    println!("ok -> {}", out_file.display());
+                }
+            }
+            Ok(output) => {
+                println!("FAILED (status {})", output.status);
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAILED to launch ({e}); build with `cargo build --release -p eatss-bench` first");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("\nall {} experiments regenerated", EXPERIMENTS.len());
+        std::process::ExitCode::SUCCESS
+    } else {
+        println!("\n{failures} experiment(s) failed");
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,85 @@
+//! **§V-G** — compile-time overhead of the solver: end-to-end iterative
+//! selection time and per-call statistics, grouped by maximum kernel loop
+//! depth (2-D, 3-D, 4-D), across benchmarks, architectures and
+//! configurations. The paper reports ~1.3 s end-to-end on average with
+//! 4–7 solver calls of ~0.29 s each for Z3; the stand-in solver should be
+//! in a comparable (or faster) regime.
+
+use eatss::{EatssConfig, ModelGenerator};
+use eatss_bench::table::fmt_f;
+use eatss_bench::Table;
+use eatss_gpusim::GpuArch;
+use eatss_kernels::Dataset;
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("Section V-G: solver overhead by kernel dimensionality\n");
+    let mut groups: BTreeMap<usize, Vec<(f64, u32)>> = BTreeMap::new();
+    let mut configs_run = 0;
+    for b in eatss_kernels::all() {
+        let program = b.program().expect("benchmark parses");
+        let depth = program.max_depth();
+        for arch in [GpuArch::ga100(), GpuArch::xavier()] {
+            for split in [0.0, 0.5, 0.67] {
+                for frac in [0.25, 0.5] {
+                    let config = EatssConfig {
+                        split_factor: split,
+                        warp_fraction: frac,
+                        ..EatssConfig::default()
+                    };
+                    let sizes = b.sizes(Dataset::ExtraLarge);
+                    let model = match ModelGenerator::new(&arch, config).build(&program, Some(&sizes)) {
+                        Ok(m) => m,
+                        Err(_) => continue,
+                    };
+                    configs_run += 1;
+                    if let Ok(solution) = model.solve() {
+                        groups.entry(depth).or_default().push((
+                            solution.solve_time.as_secs_f64(),
+                            solution.solver_calls,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let mut t = Table::new(vec![
+        "loop depth",
+        "formulations",
+        "mean end-to-end (s)",
+        "mean solver calls",
+        "mean per-call (s)",
+    ]);
+    let mut all_times = Vec::new();
+    let mut all_calls = Vec::new();
+    for (depth, samples) in &groups {
+        let times: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let calls: Vec<f64> = samples.iter().map(|s| s.1 as f64).collect();
+        let mean_t = times.iter().sum::<f64>() / times.len() as f64;
+        let mean_c = calls.iter().sum::<f64>() / calls.len() as f64;
+        all_times.extend(times);
+        all_calls.extend(calls);
+        t.row(vec![
+            format!("{depth}D"),
+            samples.len().to_string(),
+            fmt_f(mean_t),
+            fmt_f(mean_c),
+            fmt_f(mean_t / mean_c.max(1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    let mean_t = all_times.iter().sum::<f64>() / all_times.len().max(1) as f64;
+    let mean_c = all_calls.iter().sum::<f64>() / all_calls.len().max(1) as f64;
+    println!(
+        "{} configurations solved; overall mean end-to-end {} s, mean {} \
+         solver calls, {} s per call",
+        configs_run,
+        fmt_f(mean_t),
+        fmt_f(mean_c),
+        fmt_f(mean_t / mean_c.max(1.0)),
+    );
+    println!(
+        "\nShape check (paper, with Z3): 1.1 s (2D), 1.4 s (3D/4D), 2.2 s \
+         (5D) end-to-end; 0.29 s per call; 4-7 calls per formulation."
+    );
+}

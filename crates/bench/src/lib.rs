@@ -1,0 +1,16 @@
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the EATSS paper (see DESIGN.md §5 for the index).
+//!
+//! Each figure/table has a dedicated binary under `src/bin/`; this
+//! library holds the common machinery: space exploration with caching of
+//! per-variant measurements, baseline extraction (default / median / best
+//! PPCG), and plain-text table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod table;
+
+pub use explore::{explore_space, BaselineSummary, Variant};
+pub use table::Table;

@@ -1,0 +1,128 @@
+//! Minimal plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use eatss_bench::Table;
+///
+/// let mut t = Table::new(vec!["kernel", "GFLOP/s"]);
+/// t.row(vec!["gemm".into(), "3721.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("gemm"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator line.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:<w$}", w = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f(v: f64) -> String {
+    if !v.is_finite() {
+        return "n/a".to_owned();
+    }
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into()]); // short row padded
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("xxxxxxx"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_f_ranges() {
+        assert_eq!(fmt_f(12345.6), "12346");
+        assert_eq!(fmt_f(42.25), "42.2");
+        assert_eq!(fmt_f(1.5), "1.500");
+        assert_eq!(fmt_f(0.0001), "1.00e-4");
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(f64::INFINITY), "n/a");
+    }
+}

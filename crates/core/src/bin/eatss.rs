@@ -1,0 +1,240 @@
+//! `eatss` — command-line front end for the tile-size selector.
+//!
+//! ```text
+//! eatss <kernel.eatss | benchmark-name> [options]
+//!
+//! options:
+//!   --arch ga100|xavier        target GPU (default: ga100)
+//!   --split <0..1>             shared-memory split factor (default: 0.5)
+//!   --warp-frac <f>            warp fraction (default: 0.5)
+//!   --fp32                     single precision (default: FP64)
+//!   --strict-cap               literal B_size <= T_P_B (default: virtual)
+//!   --size NAME=VALUE          bind a problem-size parameter (repeatable)
+//!   --dataset standard|xl      use a registered benchmark's dataset
+//!   --sweep                    run the split x warp-fraction sweep
+//!   --emit-smt                 print the SMT-LIB formulation
+//!   --emit-cuda                print the generated CUDA for the selection
+//!   --evaluate                 measure the selection on the GPU model
+//! ```
+
+use eatss::{Eatss, EatssConfig, ModelGenerator, Precision, ThreadBlockCap};
+use eatss_affine::parser::parse_program;
+use eatss_affine::tiling::TileConfig;
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::GpuArch;
+use eatss_ppcg::{Ppcg};
+use std::process::ExitCode;
+
+struct Options {
+    input: String,
+    arch: GpuArch,
+    config: EatssConfig,
+    sizes: Vec<(String, i64)>,
+    dataset: Option<eatss_kernels::Dataset>,
+    sweep: bool,
+    emit_smt: bool,
+    emit_cuda: bool,
+    evaluate: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: eatss <kernel.eatss | benchmark-name> [--arch ga100|xavier] \
+         [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
+         [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] \
+         [--emit-smt] [--emit-cuda] [--evaluate]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        arch: GpuArch::ga100(),
+        config: EatssConfig::default(),
+        sizes: Vec::new(),
+        dataset: None,
+        sweep: false,
+        emit_smt: false,
+        emit_cuda: false,
+        evaluate: false,
+    };
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--arch" => {
+                opts.arch = match next_value(&mut args, "--arch")?.as_str() {
+                    "ga100" => GpuArch::ga100(),
+                    "xavier" => GpuArch::xavier(),
+                    other => return Err(format!("unknown arch `{other}`")),
+                };
+            }
+            "--split" => {
+                opts.config.split_factor = next_value(&mut args, "--split")?
+                    .parse()
+                    .map_err(|e| format!("--split: {e}"))?;
+            }
+            "--warp-frac" => {
+                opts.config.warp_fraction = next_value(&mut args, "--warp-frac")?
+                    .parse()
+                    .map_err(|e| format!("--warp-frac: {e}"))?;
+            }
+            "--fp32" => opts.config.precision = Precision::F32,
+            "--strict-cap" => opts.config.cap = ThreadBlockCap::Strict,
+            "--size" => {
+                let kv = next_value(&mut args, "--size")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--size expects NAME=VALUE, got `{kv}`"))?;
+                let v: i64 = v.parse().map_err(|e| format!("--size {k}: {e}"))?;
+                opts.sizes.push((k.to_owned(), v));
+            }
+            "--dataset" => {
+                opts.dataset = Some(match next_value(&mut args, "--dataset")?.as_str() {
+                    "standard" => eatss_kernels::Dataset::Standard,
+                    "xl" | "extralarge" => eatss_kernels::Dataset::ExtraLarge,
+                    other => return Err(format!("unknown dataset `{other}`")),
+                });
+            }
+            "--sweep" => opts.sweep = true,
+            "--emit-smt" => opts.emit_smt = true,
+            "--emit-cuda" => opts.emit_cuda = true,
+            "--evaluate" => opts.evaluate = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            positional => {
+                if !opts.input.is_empty() {
+                    return Err("multiple inputs given".to_owned());
+                }
+                opts.input = positional.to_owned();
+            }
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("no input kernel".to_owned());
+    }
+    Ok(opts)
+}
+
+fn load_program(opts: &Options) -> Result<(Program, ProblemSizes), String> {
+    // A registered benchmark name wins; otherwise treat the input as a
+    // path to a kernel file.
+    if let Some(bench) = eatss_kernels::by_name(&opts.input) {
+        let program = bench.program().map_err(|e| e.to_string())?;
+        let mut sizes =
+            bench.sizes(opts.dataset.unwrap_or(eatss_kernels::Dataset::ExtraLarge));
+        for (k, v) in &opts.sizes {
+            sizes.set(k.clone(), *v);
+        }
+        return Ok((program, sizes));
+    }
+    let source = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.input))?;
+    let program = parse_program(&source).map_err(|e| e.to_string())?;
+    let sizes = ProblemSizes::new(opts.sizes.iter().map(|(k, v)| (k.clone(), *v)));
+    Ok((program, sizes))
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let (program, sizes) = load_program(&opts)?;
+    let eatss = Eatss::new(opts.arch.clone());
+
+    if opts.sweep {
+        let sweep = eatss
+            .sweep(
+                &program,
+                &sizes,
+                &eatss::sweep::PAPER_SPLITS,
+                &[0.5, 0.25, 0.125],
+            )
+            .map_err(|e| e.to_string())?;
+        println!("{:<8} {:<8} {:<9} {:<18} {:>9} {:>8} {:>9}", "split", "wfrac", "cap", "tiles", "GFLOP/s", "W", "PPW");
+        for p in &sweep.points {
+            println!(
+                "{:<8.2} {:<8.3} {:<9} {:<18} {:>9.1} {:>8.1} {:>9.2}",
+                p.config.split_factor,
+                p.config.warp_fraction,
+                format!("{:?}", p.config.cap),
+                p.solution.tiles.to_string(),
+                p.report.gflops,
+                p.report.avg_power_w,
+                p.report.ppw
+            );
+        }
+        if let Some(best) = sweep.best_by_ppw() {
+            println!("\nbest by PPW: {}", best.solution.tiles);
+        }
+        return Ok(());
+    }
+
+    if opts.emit_smt {
+        let model = ModelGenerator::new(&opts.arch, opts.config.clone())
+            .build(&program, Some(&sizes))
+            .map_err(|e| e.to_string())?;
+        println!("{}", model.to_smtlib());
+    }
+
+    let solution = eatss
+        .select_tiles(&program, &sizes, &opts.config)
+        .map_err(|e| e.to_string())?;
+    println!("tiles     : {}", solution.tiles);
+    println!("objective : {}", solution.objective);
+    println!(
+        "solver    : {} calls, {:.4} s{}",
+        solution.solver_calls,
+        solution.solve_time.as_secs_f64(),
+        if solution.optimal { ", optimal" } else { "" }
+    );
+
+    if opts.emit_cuda {
+        let compiled = Ppcg::new(opts.arch.clone())
+            .compile(
+                &program,
+                &solution.tiles,
+                &sizes,
+                &opts.config.compile_options(&opts.arch),
+            )
+            .map_err(|e| e.to_string())?;
+        println!("\n{}", compiled.cuda_source);
+    }
+
+    if opts.evaluate {
+        let ours = eatss
+            .evaluate(&program, &solution.tiles, &sizes, &opts.config)
+            .map_err(|e| e.to_string())?;
+        let default = eatss
+            .evaluate(
+                &program,
+                &TileConfig::ppcg_default(program.max_depth()),
+                &sizes,
+                &opts.config,
+            )
+            .map_err(|e| e.to_string())?;
+        println!("\nEATSS   : {ours}");
+        println!("default : {default}");
+        if ours.valid && default.valid {
+            println!(
+                "speedup {:.3}x, PPW ratio {:.3}x, energy ratio {:.3}x",
+                default.time_s / ours.time_s,
+                ours.ppw / default.ppw,
+                ours.energy_j / default.energy_j
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

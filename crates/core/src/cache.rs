@@ -1,0 +1,295 @@
+//! A memoizing tile-selection cache for JIT-style integration.
+//!
+//! §IV-M(iii) of the paper notes that the model generator "can be
+//! integrated into toolchains that perform JIT compilation, which is
+//! commonplace in deep learning frameworks". Such toolchains see the same
+//! kernels repeatedly (often with the same shapes); [`TileCache`] keys
+//! solved selections by a structural fingerprint of
+//! (program, sizes, architecture, configuration) so repeated requests are
+//! served without touching the solver.
+
+use crate::config::EatssConfig;
+use crate::model::{EatssError, EatssSolution, ModelGenerator};
+use eatss_affine::ir::{ArrayRef, Extent, RhsExpr};
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::GpuArch;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileCacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran the solver.
+    pub misses: u64,
+    /// Requests whose formulation was unsatisfiable (also cached).
+    pub infeasible: u64,
+}
+
+/// A memoizing front end over the EATSS pipeline for JIT-style use.
+///
+/// # Examples
+///
+/// ```
+/// use eatss::{EatssConfig, TileCache};
+/// use eatss_affine::{parser::parse_program, ProblemSizes};
+/// use eatss_gpusim::GpuArch;
+///
+/// let mut cache = TileCache::new(GpuArch::ga100());
+/// let program = parse_program(
+///     "kernel mm(M, N, P) {
+///        for (i: M) for (j: N) for (k: P)
+///          C[i][j] += A[i][k] * B[k][j];
+///      }",
+/// ).expect("valid source");
+/// let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+/// let first = cache.select(&program, &sizes, &EatssConfig::default())?.clone();
+/// let second = cache.select(&program, &sizes, &EatssConfig::default())?.clone();
+/// assert_eq!(first.tiles, second.tiles);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), eatss::EatssError>(())
+/// ```
+#[derive(Debug)]
+pub struct TileCache {
+    arch: GpuArch,
+    entries: HashMap<u64, Result<EatssSolution, EatssError>>,
+    stats: TileCacheStats,
+}
+
+impl TileCache {
+    /// Creates an empty cache for one target architecture.
+    pub fn new(arch: GpuArch) -> Self {
+        TileCache {
+            arch,
+            entries: HashMap::new(),
+            stats: TileCacheStats::default(),
+        }
+    }
+
+    /// Number of memoized formulations (feasible or not).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> TileCacheStats {
+        self.stats
+    }
+
+    /// Drops all memoized selections.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = TileCacheStats::default();
+    }
+
+    /// Selects tiles, serving repeats from the cache. Infeasibility is
+    /// memoized too, so a JIT does not retry hopeless configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same (possibly cached) [`EatssError`] the solver
+    /// produced.
+    pub fn select(
+        &mut self,
+        program: &Program,
+        sizes: &ProblemSizes,
+        config: &EatssConfig,
+    ) -> Result<&EatssSolution, EatssError> {
+        let key = fingerprint(&self.arch, program, sizes, config);
+        if let std::collections::hash_map::Entry::Vacant(entry) = self.entries.entry(key) {
+            self.stats.misses += 1;
+            let result = ModelGenerator::new(&self.arch, config.clone())
+                .build(program, Some(sizes))
+                .and_then(|model| model.solve());
+            if result.is_err() {
+                self.stats.infeasible += 1;
+            }
+            entry.insert(result);
+        } else {
+            self.stats.hits += 1;
+        }
+        match self.entries.get(&key).expect("just inserted") {
+            Ok(solution) => Ok(solution),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+/// Structural fingerprint of a selection request: kernel shapes, access
+/// functions, bound sizes, architecture identity and configuration knobs.
+/// Kernel *names* are deliberately excluded — JITs generate fresh names
+/// for structurally identical kernels.
+pub fn fingerprint(
+    arch: &GpuArch,
+    program: &Program,
+    sizes: &ProblemSizes,
+    config: &EatssConfig,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    arch.name.hash(&mut h);
+    arch.l1_shared_bytes.hash(&mut h);
+    arch.l2_bytes.hash(&mut h);
+    arch.regs_per_sm.hash(&mut h);
+    config.split_factor.to_bits().hash(&mut h);
+    config.warp_fraction.to_bits().hash(&mut h);
+    config.precision.elem_bytes().hash(&mut h);
+    (config.cap == crate::config::ThreadBlockCap::Strict).hash(&mut h);
+    for kernel in &program.kernels {
+        kernel.depth().hash(&mut h);
+        for dim in &kernel.dims {
+            dim.explicit_serial.hash(&mut h);
+            match &dim.extent {
+                Extent::Const(c) => {
+                    0u8.hash(&mut h);
+                    c.hash(&mut h);
+                }
+                Extent::Param(p) => {
+                    1u8.hash(&mut h);
+                    sizes.get(p).hash(&mut h);
+                }
+            }
+        }
+        for stmt in &kernel.stmts {
+            hash_ref(&stmt.write, &mut h);
+            stmt.is_accumulation.hash(&mut h);
+            for r in &stmt.reads {
+                hash_ref(r, &mut h);
+            }
+            hash_rhs(&stmt.rhs, &mut h);
+        }
+    }
+    h.finish()
+}
+
+fn hash_ref(r: &ArrayRef, h: &mut DefaultHasher) {
+    // The array identity matters for grouping, but names are JIT-fresh;
+    // hash the subscript structure and a per-statement array index proxy
+    // (length is part of the structure).
+    r.subscripts.len().hash(h);
+    r.array.len().hash(h);
+    for s in &r.subscripts {
+        s.terms().hash(h);
+        s.offset().hash(h);
+    }
+}
+
+fn hash_rhs(e: &RhsExpr, h: &mut DefaultHasher) {
+    match e {
+        RhsExpr::Num(v) => {
+            0u8.hash(h);
+            v.to_bits().hash(h);
+        }
+        RhsExpr::Ref(i) => {
+            1u8.hash(h);
+            i.hash(h);
+        }
+        RhsExpr::Bin(op, a, b) => {
+            2u8.hash(h);
+            op.hash(h);
+            hash_rhs(a, h);
+            hash_rhs(b, h);
+        }
+        RhsExpr::Neg(a) => {
+            3u8.hash(h);
+            hash_rhs(a, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eatss_affine::parser::parse_program;
+
+    fn mm(names: (&str, &str, &str)) -> Program {
+        parse_program(&format!(
+            "kernel k(M, N, P) {{
+               for (i: M) for (j: N) for (k: P)
+                 {}[i][j] += {}[i][k] * {}[k][j];
+             }}",
+            names.0, names.1, names.2
+        ))
+        .expect("valid source")
+    }
+
+    fn sizes(n: i64) -> ProblemSizes {
+        ProblemSizes::new([("M", n), ("N", n), ("P", n)])
+    }
+
+    #[test]
+    fn repeated_requests_hit() {
+        let mut cache = TileCache::new(GpuArch::ga100());
+        let program = mm(("C", "A", "B"));
+        let cfg = EatssConfig::default();
+        let a = cache.select(&program, &sizes(2000), &cfg).unwrap().clone();
+        for _ in 0..5 {
+            let b = cache.select(&program, &sizes(2000), &cfg).unwrap();
+            assert_eq!(a.tiles, b.tiles);
+        }
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn jit_fresh_names_share_an_entry() {
+        let mut cache = TileCache::new(GpuArch::ga100());
+        let cfg = EatssConfig::default();
+        let a = cache
+            .select(&mm(("Out0", "In0", "Ker0")), &sizes(2000), &cfg)
+            .unwrap()
+            .clone();
+        let b = cache
+            .select(&mm(("Out1", "In1", "Ker1")), &sizes(2000), &cfg)
+            .unwrap()
+            .clone();
+        assert_eq!(a.tiles, b.tiles);
+        assert_eq!(cache.stats().hits, 1, "same structure must hit");
+    }
+
+    #[test]
+    fn different_sizes_and_configs_miss() {
+        let mut cache = TileCache::new(GpuArch::ga100());
+        let program = mm(("C", "A", "B"));
+        let cfg = EatssConfig::default();
+        let _ = cache.select(&program, &sizes(2000), &cfg).unwrap();
+        let _ = cache.select(&program, &sizes(1000), &cfg).unwrap();
+        let _ = cache
+            .select(&program, &sizes(2000), &EatssConfig::with_split(0.0))
+            .unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn infeasibility_is_memoized() {
+        let mut cache = TileCache::new(GpuArch::ga100());
+        let program = mm(("C", "A", "B"));
+        let cfg = EatssConfig::default(); // WAF 16 > extents of 8
+        assert!(cache.select(&program, &sizes(8), &cfg).is_err());
+        assert!(cache.select(&program, &sizes(8), &cfg).is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.infeasible, 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cache = TileCache::new(GpuArch::xavier());
+        let program = mm(("C", "A", "B"));
+        let _ = cache.select(&program, &sizes(512), &EatssConfig::default());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), TileCacheStats::default());
+    }
+}

@@ -1,0 +1,131 @@
+//! **EATSS** — the Energy-Aware Tile Size Selection Scheme of
+//! *"Energy-Aware Tile Size Selection for Affine Programs on GPUs"*
+//! (Jayaweera, Kong, Wang, Kaeli — CGO 2024), reproduced in Rust.
+//!
+//! EATSS derives, per affine kernel, a non-linear integer formulation
+//! whose variables are the tile sizes of the loop nest:
+//!
+//! * tile sizes are bounded and warp-aligned (§IV-B),
+//! * per-reference data-tile volumes `V^f` (§IV-C) populate L1 /
+//!   shared-memory / L2 capacity constraints under a *split factor*
+//!   (§IV-E, §IV-H, §IV-J),
+//! * thread-block size and register-per-SM constraints encode the GPU
+//!   execution model (§IV-F, §IV-G) with FP32/FP64 awareness (§IV-I),
+//! * the objective `OBJ = Π_{i par} T_i + Σ H_i·T_i` trades intra-thread
+//!   locality for inter-thread sharing (§IV-K),
+//! * the formulation is maximized by iteratively asserting
+//!   `OBJ_{n+1} > OBJ_n` (§IV-L) with the `eatss-smt` solver.
+//!
+//! The selected tiles are handed to the PPCG stand-in (`eatss-ppcg`) and
+//! evaluated on the GPU model (`eatss-gpusim`), mirroring the paper's
+//! EATSS → PPCG → hardware pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use eatss::{Eatss, EatssConfig};
+//! use eatss_affine::{parser::parse_program, ProblemSizes};
+//! use eatss_gpusim::GpuArch;
+//!
+//! let program = parse_program(
+//!     "kernel mm(M, N, P) {
+//!        for (i: M) for (j: N) for (k: P)
+//!          C[i][j] += A[i][k] * B[k][j];
+//!      }")?;
+//! let eatss = Eatss::new(GpuArch::ga100());
+//! let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+//! let solution = eatss.select_tiles(&program, &sizes, &EatssConfig::default())?;
+//! assert_eq!(solution.tiles.sizes().len(), 3);
+//! // Tile sizes respect the warp-alignment factor.
+//! assert!(solution.tiles.sizes().iter().all(|t| t % 16 == 0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod evaluate;
+pub mod model;
+pub mod sweep;
+
+pub use cache::{TileCache, TileCacheStats};
+pub use config::{EatssConfig, Precision, ThreadBlockCap};
+pub use evaluate::{evaluate_program, evaluate_program_repeated, EvaluateError};
+pub use model::{Ablation, EatssError, EatssSolution, ModelGenerator};
+pub use sweep::{SweepOutcome, SweepPoint};
+
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::{GpuArch, SimReport};
+
+/// The EATSS pipeline: model generation → iterative solving → PPCG
+/// compilation → simulated measurement.
+#[derive(Debug, Clone)]
+pub struct Eatss {
+    arch: GpuArch,
+}
+
+impl Eatss {
+    /// Creates the scheme for a target architecture.
+    pub fn new(arch: GpuArch) -> Self {
+        Eatss { arch }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// Selects tile sizes for `program` under one configuration
+    /// (split factor, warp fraction, precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EatssError`] when the formulation is unsatisfiable
+    /// (e.g. the warp-alignment factor leaves no feasible tile) or the
+    /// solver fails.
+    pub fn select_tiles(
+        &self,
+        program: &Program,
+        sizes: &ProblemSizes,
+        config: &EatssConfig,
+    ) -> Result<EatssSolution, EatssError> {
+        ModelGenerator::new(&self.arch, config.clone())
+            .build(program, Some(sizes))?
+            .solve()
+    }
+
+    /// Evaluates a tile configuration end-to-end: PPCG compilation plus
+    /// GPU-model measurement (time, power, energy, PPW).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluateError`] if compilation fails.
+    pub fn evaluate(
+        &self,
+        program: &Program,
+        tiles: &eatss_affine::tiling::TileConfig,
+        sizes: &ProblemSizes,
+        config: &EatssConfig,
+    ) -> Result<SimReport, EvaluateError> {
+        evaluate_program(&self.arch, program, tiles, sizes, &config.compile_options(&self.arch))
+    }
+
+    /// Runs the paper's configuration sweep (§V-B generates three
+    /// shared-memory levels per benchmark; §V-D adds warp fractions) and
+    /// returns every point plus the PPW-best one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EatssError`] if *every* configuration is infeasible.
+    pub fn sweep(
+        &self,
+        program: &Program,
+        sizes: &ProblemSizes,
+        splits: &[f64],
+        warp_fractions: &[f64],
+    ) -> Result<SweepOutcome, EatssError> {
+        sweep::run(self, program, sizes, splits, warp_fractions)
+    }
+}

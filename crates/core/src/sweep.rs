@@ -1,0 +1,209 @@
+//! The EATSS configuration sweep: one solved + measured point per
+//! (split factor × warp fraction) combination.
+//!
+//! §V-B generates three tile configurations per benchmark (three
+//! shared-memory levels) and reports the best; §V-D widens the sweep with
+//! warp fractions {0.125, 0.25, 0.5, 1.0} for high-dimensional kernels.
+//! Infeasible combinations (empty solution spaces) are recorded, matching
+//! the paper's "missing configurations".
+
+use crate::config::{EatssConfig, ThreadBlockCap};
+use crate::evaluate::EvaluateError;
+use crate::model::{EatssError, EatssSolution};
+use crate::Eatss;
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::SimReport;
+
+/// The shared-memory split levels of §V-B (0%, 50%, 67%).
+pub const PAPER_SPLITS: [f64; 3] = [0.0, 0.5, 0.67];
+
+/// The warp fractions of §V-D.
+pub const PAPER_WARP_FRACTIONS: [f64; 4] = [0.125, 0.25, 0.5, 1.0];
+// Each (split, fraction) point is additionally solved under both
+// interpretations of the §IV-F thread-block bound (see
+// [`ThreadBlockCap`]), and the measured best wins — mirroring how the
+// paper generates a handful of candidate configurations per benchmark
+// and keeps the best measured one.
+
+/// One solved and measured configuration.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The configuration knobs.
+    pub config: EatssConfig,
+    /// The tile selection the solver produced.
+    pub solution: EatssSolution,
+    /// The simulated measurement of those tiles.
+    pub report: SimReport,
+}
+
+/// All sweep results for one program.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Feasible, measured points.
+    pub points: Vec<SweepPoint>,
+    /// Configurations whose formulation was unsatisfiable (with reason).
+    pub infeasible: Vec<(EatssConfig, String)>,
+}
+
+impl SweepOutcome {
+    /// The point with the highest performance-per-watt (the paper's
+    /// selection criterion).
+    pub fn best_by_ppw(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.report.valid)
+            .max_by(|a, b| {
+                a.report
+                    .ppw
+                    .partial_cmp(&b.report.ppw)
+                    .expect("PPW is finite for valid reports")
+            })
+    }
+
+    /// The point with the highest raw throughput.
+    pub fn best_by_perf(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.report.valid)
+            .max_by(|a, b| {
+                a.report
+                    .gflops
+                    .partial_cmp(&b.report.gflops)
+                    .expect("GFLOP/s is finite for valid reports")
+            })
+    }
+
+    /// The point with the lowest energy.
+    pub fn best_by_energy(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.report.valid)
+            .min_by(|a, b| {
+                a.report
+                    .energy_j
+                    .partial_cmp(&b.report.energy_j)
+                    .expect("energy is finite for valid reports")
+            })
+    }
+}
+
+/// Runs the sweep. Fails only if *every* combination is infeasible or a
+/// systemic error (solver/compile) occurs.
+pub fn run(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    splits: &[f64],
+    warp_fractions: &[f64],
+) -> Result<SweepOutcome, EatssError> {
+    let mut points = Vec::new();
+    let mut infeasible = Vec::new();
+    for &split in splits {
+        for &frac in warp_fractions {
+          for cap in [ThreadBlockCap::Virtual, ThreadBlockCap::Strict] {
+            let config = EatssConfig {
+                split_factor: split,
+                warp_fraction: frac,
+                cap,
+                ..EatssConfig::default()
+            };
+            match eatss.select_tiles(program, sizes, &config) {
+                Ok(solution) => {
+                    let report = eatss
+                        .evaluate(program, &solution.tiles, sizes, &config)
+                        .map_err(|e: EvaluateError| EatssError::Unsatisfiable {
+                            reason: e.to_string(),
+                        })?;
+                    points.push(SweepPoint {
+                        config,
+                        solution,
+                        report,
+                    });
+                }
+                Err(EatssError::Unsatisfiable { reason }) => {
+                    infeasible.push((config, reason));
+                }
+                Err(other) => return Err(other),
+            }
+          }
+        }
+    }
+    if points.is_empty() {
+        return Err(EatssError::Unsatisfiable {
+            reason: format!(
+                "all {} sweep configurations are infeasible",
+                infeasible.len()
+            ),
+        });
+    }
+    Ok(SweepOutcome { points, infeasible })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eatss_affine::parser::parse_program;
+    use eatss_gpusim::GpuArch;
+
+    fn mm() -> Program {
+        parse_program(
+            "kernel mm(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 C[i][j] += A[i][k] * B[k][j];
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_sweep_produces_points_and_best() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+        let out = eatss
+            .sweep(&mm(), &sizes, &PAPER_SPLITS, &[0.5])
+            .unwrap();
+        assert_eq!(out.points.len() + out.infeasible.len(), 6);
+        assert!(!out.points.is_empty());
+        let best = out.best_by_ppw().unwrap();
+        assert!(best.report.valid);
+        assert!(best.report.ppw > 0.0);
+        // best-by-ppw is at least as good as every other point.
+        for p in &out.points {
+            assert!(best.report.ppw >= p.report.ppw);
+        }
+    }
+
+    #[test]
+    fn infeasible_fractions_are_recorded_not_fatal() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        // Tiny problem: WAF=32 has no aligned tile below the extents.
+        let sizes = ProblemSizes::new([("M", 8), ("N", 8), ("P", 8)]);
+        let out = eatss
+            .sweep(&mm(), &sizes, &[0.5], &[1.0, 0.125])
+            .unwrap();
+        assert_eq!(out.infeasible.len(), 2);
+        assert_eq!(out.points.len(), 2);
+        assert!((out.points[0].config.warp_fraction - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_infeasible_is_an_error() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 3), ("N", 3), ("P", 3)]);
+        let err = eatss.sweep(&mm(), &sizes, &[0.5], &[1.0]).unwrap_err();
+        assert!(matches!(err, EatssError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn best_selectors_agree_on_validity() {
+        let eatss = Eatss::new(GpuArch::xavier());
+        let sizes = ProblemSizes::new([("M", 1024), ("N", 1024), ("P", 1024)]);
+        let out = eatss.sweep(&mm(), &sizes, &PAPER_SPLITS, &[0.5]).unwrap();
+        assert!(out.best_by_perf().is_some());
+        assert!(out.best_by_energy().is_some());
+        let e = out.best_by_energy().unwrap();
+        for p in &out.points {
+            assert!(e.report.energy_j <= p.report.energy_j);
+        }
+    }
+}

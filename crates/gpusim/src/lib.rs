@@ -1,0 +1,218 @@
+//! A mechanistic GPU performance / power / energy model — the hardware
+//! stand-in for the NVIDIA GA100 and Jetson AGX Xavier testbeds of the
+//! EATSS paper (CGO 2024).
+//!
+//! The paper measures tiled CUDA kernels on real GPUs with `nvidia-smi`,
+//! `tegrastats` and Nsight Compute. This crate replaces the hardware with
+//! an analytic model whose terms respond to tile-size choices through the
+//! same mechanisms the paper argues drive the measurements:
+//!
+//! * **occupancy** ([`mod@occupancy`]) — threads/registers/shared-memory limits
+//!   per SM, wave quantization and tail effects;
+//! * **memory traffic** ([`traffic`]) — per-reference L1 residency and
+//!   thrashing, L1→L2 sector counts (the `lts__t_sectors..read` proxy of
+//!   Fig. 9), L2 capacity filtering against the concurrent working set,
+//!   DRAM traffic with row-buffer (burst) efficiency, and coalescing;
+//! * **timing** ([`timing`]) — roofline-style max of compute / L2 / DRAM
+//!   phases plus staging-synchronization and launch overheads;
+//! * **power** ([`power`]) — constant + static + dynamic decomposition
+//!   (Fig. 1) with per-activity energies and a TDP cap that models the
+//!   automatic DVFS behaviour the paper exploits;
+//! * a validation-scale set-associative LRU [`cache`] simulator used to
+//!   sanity-check the analytic residency rules in tests.
+//!
+//! All "measurement noise" is deterministic ([`noise`]), so experiments
+//! are reproducible bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use eatss_gpusim::{Gpu, GpuArch, KernelExecSpec, RefAccess};
+//!
+//! let gpu = Gpu::new(GpuArch::ga100());
+//! let spec = KernelExecSpec {
+//!     name: "axpy".into(),
+//!     grid_blocks: 4096,
+//!     grid_x_blocks: 4096,
+//!     threads_per_block: 256,
+//!     points_per_thread: 1,
+//!     serial_steps_per_block: 1,
+//!     flops_total: 2.0 * 1e6,
+//!     elem_bytes: 8,
+//!     shared_bytes_per_block: 0,
+//!     l1_avail_bytes: 128 * 1024,
+//!     num_refs: 2,
+//!     refs: vec![
+//!         RefAccess::streaming("x", 1_000_000, 256, true),
+//!         RefAccess::streaming("y", 1_000_000, 256, false),
+//!     ],
+//! };
+//! let report = gpu.simulate(&spec);
+//! assert!(report.time_s > 0.0);
+//! assert!(report.avg_power_w > 0.0);
+//! assert!(report.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cache;
+pub mod metrics;
+pub mod noise;
+pub mod occupancy;
+pub mod power;
+pub mod spec;
+pub mod stats;
+pub mod timing;
+pub mod traffic;
+pub mod validation;
+
+pub use arch::{GpuArch, PowerCoefficients};
+pub use cache::{AccessOutcome, CacheSim, CacheStats};
+pub use metrics::SimReport;
+pub use occupancy::{occupancy, Occupancy};
+pub use spec::{KernelExecSpec, RefAccess};
+pub use timing::TimingBreakdown;
+pub use traffic::{RefTrafficReport, TrafficReport};
+
+/// A GPU device: an architecture plus the simulation entry points.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    arch: GpuArch,
+}
+
+impl Gpu {
+    /// Creates a device for the given architecture.
+    pub fn new(arch: GpuArch) -> Self {
+        Gpu { arch }
+    }
+
+    /// The device's architecture description.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// Simulates one kernel launch.
+    pub fn simulate(&self, spec: &KernelExecSpec) -> SimReport {
+        let occ = occupancy::occupancy(&self.arch, spec);
+        let traffic = traffic::model(&self.arch, spec, &occ);
+        let timing = timing::model(&self.arch, spec, &occ, &traffic);
+        power::finish(&self.arch, spec, &occ, &traffic, timing)
+    }
+
+    /// Simulates a sequence of kernel launches (a program such as 2mm),
+    /// aggregating time, energy and traffic; the average power is the
+    /// time-weighted mean.
+    pub fn simulate_program(&self, specs: &[KernelExecSpec]) -> SimReport {
+        let reports: Vec<SimReport> = specs.iter().map(|s| self.simulate(s)).collect();
+        SimReport::sequence(&reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_like_spec(tile_x: i64) -> KernelExecSpec {
+        let n: i64 = 2000;
+        let tiles = n / tile_x;
+        KernelExecSpec {
+            name: format!("gemm{tile_x}"),
+            grid_blocks: tiles * tiles,
+            grid_x_blocks: tiles,
+            threads_per_block: 1024.min(tile_x * tile_x),
+            points_per_thread: ((tile_x * tile_x) as f64 / 1024.0).ceil() as i64,
+            serial_steps_per_block: n / 16,
+            flops_total: 2.0 * (n as f64).powi(3),
+            elem_bytes: 8,
+            shared_bytes_per_block: (tile_x * 16 * 8) as u32,
+            l1_avail_bytes: 96 * 1024,
+            num_refs: 3,
+            refs: vec![
+                RefAccess {
+                    name: "C".into(),
+                    staged_shared: false,
+                    tile_footprint_elems: tile_x * tile_x,
+                    block_footprint_elems: tile_x * tile_x,
+                    total_footprint_elems: n * n,
+                    accesses_per_block: tile_x * tile_x * (n / 16),
+                    coalesced: true,
+                    contiguous_x_elems: tile_x,
+                    varies_block_x: true,
+                    varies_block_y: true,
+                    is_write: true,
+                },
+                RefAccess {
+                    name: "A".into(),
+                    staged_shared: true,
+                    tile_footprint_elems: tile_x * 16,
+                    block_footprint_elems: tile_x * n,
+                    total_footprint_elems: n * n,
+                    accesses_per_block: tile_x * tile_x * n,
+                    coalesced: true,
+                    contiguous_x_elems: 16,
+                    varies_block_x: false,
+                    varies_block_y: true,
+                    is_write: false,
+                },
+                RefAccess {
+                    name: "B".into(),
+                    staged_shared: false,
+                    tile_footprint_elems: 16 * tile_x,
+                    block_footprint_elems: n * tile_x,
+                    total_footprint_elems: n * n,
+                    accesses_per_block: tile_x * tile_x * n,
+                    coalesced: true,
+                    contiguous_x_elems: tile_x,
+                    varies_block_x: true,
+                    varies_block_y: false,
+                    is_write: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn simulate_produces_positive_sane_metrics() {
+        let gpu = Gpu::new(GpuArch::ga100());
+        let r = gpu.simulate(&gemm_like_spec(32));
+        assert!(r.time_s > 0.0 && r.time_s.is_finite());
+        assert!(r.avg_power_w > 10.0, "at least idle power");
+        assert!(r.avg_power_w <= GpuArch::ga100().tdp_w + 1e-9, "TDP capped");
+        assert!(r.energy_j > 0.0);
+        assert!(r.gflops > 0.0);
+        assert!((r.ppw - r.gflops / r.avg_power_w).abs() < 1e-9);
+        assert!(r.l2_sectors_read > 0);
+    }
+
+    #[test]
+    fn program_aggregation_sums_time_and_energy() {
+        let gpu = Gpu::new(GpuArch::ga100());
+        let a = gpu.simulate(&gemm_like_spec(32));
+        let b = gpu.simulate(&gemm_like_spec(64));
+        let seq = gpu.simulate_program(&[gemm_like_spec(32), gemm_like_spec(64)]);
+        assert!((seq.time_s - (a.time_s + b.time_s)).abs() < 1e-12);
+        assert!((seq.energy_j - (a.energy_j + b.energy_j)).abs() < 1e-9);
+        let w_avg = seq.energy_j / seq.time_s;
+        assert!((seq.avg_power_w - w_avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xavier_is_slower_and_lower_power_than_ga100() {
+        let spec = gemm_like_spec(32);
+        let ga = Gpu::new(GpuArch::ga100()).simulate(&spec);
+        let xa = Gpu::new(GpuArch::xavier()).simulate(&spec);
+        assert!(xa.time_s > ga.time_s);
+        assert!(xa.avg_power_w < ga.avg_power_w);
+    }
+
+    #[test]
+    fn determinism() {
+        let gpu = Gpu::new(GpuArch::ga100());
+        let a = gpu.simulate(&gemm_like_spec(48));
+        let b = gpu.simulate(&gemm_like_spec(48));
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(a.avg_power_w.to_bits(), b.avg_power_w.to_bits());
+    }
+}

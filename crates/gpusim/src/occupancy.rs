@@ -1,0 +1,198 @@
+//! SM occupancy: how many blocks fit on an SM and how well the device is
+//! filled.
+
+use crate::arch::GpuArch;
+use crate::spec::KernelExecSpec;
+
+/// Occupancy analysis of one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM (≥ 1 is required for the kernel to run;
+    /// 0 means the block cannot fit — an invalid launch).
+    pub blocks_per_sm: u32,
+    /// Fraction of the SM's thread slots occupied by resident blocks.
+    pub occupancy: f64,
+    /// SMs with at least one block in the first wave.
+    pub active_sms: u32,
+    /// Number of full device waves the grid needs.
+    pub waves: f64,
+    /// Utilization loss from the partially-filled last wave
+    /// (1.0 = no loss).
+    pub tail_efficiency: f64,
+    /// Registers per thread the kernel wants.
+    pub regs_per_thread: u32,
+    /// Registers per thread actually granted after the launchability cap.
+    pub regs_granted: u32,
+    /// Whether the estimated register demand exceeds the granted budget
+    /// (spilling to local memory).
+    pub register_spill: bool,
+}
+
+impl Occupancy {
+    /// Fraction of the device's SMs that have work in the first wave.
+    pub fn active_fraction(&self, arch: &GpuArch) -> f64 {
+        self.active_sms as f64 / arch.sm_count as f64
+    }
+}
+
+/// Computes the occupancy of a launch on an architecture.
+///
+/// Blocks per SM are limited by threads, registers, shared memory and the
+/// architectural block cap, exactly like the CUDA occupancy calculator.
+pub fn occupancy(arch: &GpuArch, spec: &KernelExecSpec) -> Occupancy {
+    let tpb = spec.threads_per_block.max(1) as u32;
+    let regs_wanted = spec.regs_per_thread();
+    // The compiler caps per-thread registers so that one block can always
+    // launch (like `-maxrregcount`); demand beyond the cap spills to
+    // local memory.
+    let affordable = (arch.regs_per_sm / tpb.min(arch.regs_per_sm)).max(1);
+    let reg_cap = arch.regs_per_thread.min(affordable);
+    let register_spill = regs_wanted > reg_cap;
+    let regs = regs_wanted.min(reg_cap).max(1);
+
+    let by_threads = arch.max_threads_per_sm / tpb.min(arch.max_threads_per_sm);
+    let by_regs = arch.regs_per_sm / (tpb.saturating_mul(regs)).max(1);
+    let by_shared = if spec.shared_bytes_per_block == 0 {
+        arch.max_blocks_per_sm
+    } else {
+        // Shared memory per SM is what the L1 carve-out leaves.
+        let shared_avail = arch.l1_shared_bytes.saturating_sub(spec.l1_avail_bytes);
+        (shared_avail / spec.shared_bytes_per_block as u64) as u32
+    };
+    let blocks_per_sm = by_threads
+        .min(by_regs)
+        .min(by_shared)
+        .min(arch.max_blocks_per_sm);
+
+    if blocks_per_sm == 0 {
+        return Occupancy {
+            blocks_per_sm: 0,
+            occupancy: 0.0,
+            active_sms: 0,
+            waves: f64::INFINITY,
+            tail_efficiency: 0.0,
+            regs_per_thread: regs_wanted,
+            regs_granted: regs,
+            register_spill,
+        };
+    }
+
+    let occupancy_frac =
+        (blocks_per_sm as f64 * tpb as f64 / arch.max_threads_per_sm as f64).min(1.0);
+    let grid = spec.grid_blocks.max(1) as f64;
+    let device_capacity = (arch.sm_count * blocks_per_sm) as f64;
+    let waves = grid / device_capacity;
+    let active_sms = (spec.grid_blocks.max(0) as u32).min(arch.sm_count);
+    // Beyond one wave, the partially-filled last wave still takes a full
+    // wave of time. (Grids below one wave are covered by the active-SM
+    // fraction instead.)
+    let tail_efficiency = if waves <= 1.0 {
+        1.0
+    } else {
+        (waves / waves.ceil()).clamp(0.0, 1.0)
+    };
+    Occupancy {
+        blocks_per_sm,
+        occupancy: occupancy_frac,
+        active_sms,
+        waves,
+        tail_efficiency,
+        regs_per_thread: regs_wanted,
+        regs_granted: regs,
+        register_spill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RefAccess;
+
+    fn spec(tpb: i64, grid: i64, shared: u32) -> KernelExecSpec {
+        KernelExecSpec {
+            name: "occ".into(),
+            grid_blocks: grid,
+            grid_x_blocks: grid,
+            threads_per_block: tpb,
+            points_per_thread: 1,
+            serial_steps_per_block: 1,
+            flops_total: 1e6,
+            elem_bytes: 4,
+            shared_bytes_per_block: shared,
+            l1_avail_bytes: 96 * 1024,
+            num_refs: 3,
+            refs: vec![RefAccess::streaming("a", 1000, 10, true)],
+        }
+    }
+
+    #[test]
+    fn thread_limit_caps_blocks() {
+        let arch = GpuArch::ga100();
+        let o = occupancy(&arch, &spec(1024, 10_000, 0));
+        assert_eq!(o.blocks_per_sm, 2); // 2048 / 1024
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        let arch = GpuArch::ga100();
+        // 96 KiB carve-out leaves 96 KiB shared; 40 KiB blocks → 2 per SM.
+        let o = occupancy(&arch, &spec(128, 10_000, 40 * 1024));
+        assert_eq!(o.blocks_per_sm, 2);
+        // 100 KiB blocks cannot fit at all.
+        let o = occupancy(&arch, &spec(128, 10_000, 100 * 1024));
+        assert_eq!(o.blocks_per_sm, 0);
+        assert_eq!(o.occupancy, 0.0);
+        assert_eq!(o.tail_efficiency, 0.0);
+    }
+
+    #[test]
+    fn small_grid_activates_few_sms() {
+        let arch = GpuArch::ga100();
+        let o = occupancy(&arch, &spec(256, 4, 0));
+        assert_eq!(o.active_sms, 4);
+        assert!(o.active_fraction(&arch) < 0.05);
+        assert!(o.waves < 1.0);
+    }
+
+    #[test]
+    fn tail_efficiency_penalizes_partial_waves() {
+        let arch = GpuArch::ga100();
+        // capacity with 256 threads: 8 blocks/SM (max_blocks cap is 32,
+        // threads: 2048/256 = 8) → 864 blocks per wave.
+        let full = occupancy(&arch, &spec(256, 864, 0));
+        assert!((full.tail_efficiency - 1.0).abs() < 1e-9);
+        let partial = occupancy(&arch, &spec(256, 865, 0));
+        assert!(partial.tail_efficiency < 0.51);
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy() {
+        let arch = GpuArch::ga100();
+        let mut s = spec(1024, 10_000, 0);
+        s.elem_bytes = 8;
+        s.num_refs = 10; // 20 + 80*2... large register demand
+        let o = occupancy(&arch, &s);
+        // Register demand caps blocks per SM, but one block always fits.
+        assert!(o.blocks_per_sm >= 1);
+        assert_eq!(
+            o.blocks_per_sm,
+            (65_536 / (1024 * o.regs_granted).max(1)).max(1)
+        );
+    }
+
+    #[test]
+    fn spill_is_flagged() {
+        let arch = GpuArch::ga100();
+        // 1024-thread blocks can only afford 64 registers per thread;
+        // a many-reference FP64 kernel with an unrolled point window
+        // demands more and spills.
+        let mut s = spec(1024, 100, 0);
+        s.points_per_thread = 128;
+        s.elem_bytes = 8;
+        s.num_refs = 8;
+        let o = occupancy(&arch, &s);
+        assert!(o.regs_per_thread > 64);
+        assert!(o.register_spill);
+    }
+}

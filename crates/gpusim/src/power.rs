@@ -1,0 +1,185 @@
+//! The power model: constant + static + dynamic decomposition (Fig. 1 of
+//! the paper) with a TDP cap modelling automatic DVFS.
+//!
+//! Dynamic power charges each activity its energy: arithmetic, L2
+//! transfers (this is what makes the Fig. 9 sector↔power correlation
+//! emerge for BLAS3 kernels), DRAM transfers weighted by row-activation
+//! overhead, and shared/L1 hits. When the modelled power exceeds the TDP,
+//! the driver lowers the clocks (`P ∝ f³`), stretching execution time by
+//! the cube root of the overshoot — the "automatic power scaling" EATSS
+//! exploits.
+
+use crate::arch::GpuArch;
+use crate::metrics::SimReport;
+use crate::noise;
+use crate::occupancy::Occupancy;
+use crate::spec::KernelExecSpec;
+use crate::timing::TimingBreakdown;
+use crate::traffic::TrafficReport;
+
+/// Jitter amplitude on execution time (residual measurement variation).
+const TIME_JITTER: f64 = 0.02;
+/// Jitter amplitude on average power.
+const POWER_JITTER: f64 = 0.015;
+
+/// Combines timing and traffic into the final observable report.
+pub fn finish(
+    arch: &GpuArch,
+    spec: &KernelExecSpec,
+    occ: &Occupancy,
+    traffic: &TrafficReport,
+    timing: TimingBreakdown,
+) -> SimReport {
+    if !timing.valid {
+        return SimReport::invalid(&spec.name);
+    }
+    let fp = spec.fingerprint();
+    let mut time_s = timing.total_s * noise::jitter(fp, TIME_SALT, TIME_JITTER);
+
+    let active = occ.active_fraction(arch);
+    let constant_power_w = arch.power.p_constant_w;
+    let static_power_w = arch.power.p_static_base_w + arch.power.p_static_active_w * active;
+
+    let gflops_rate = spec.flops_total / 1e9 / time_s;
+    let l2_gbps = traffic.l2_bytes / 1e9 / time_s;
+    let dram_energy_gbps = traffic.dram_energy_bytes / 1e9 / time_s;
+    let onchip_gbps = (traffic.shared_bytes + traffic.l1_hit_bytes) / 1e9 / time_s;
+
+    let mut dynamic_power_w = arch.power.e_flop_j_per_gflop * gflops_rate
+        + arch.power.e_l2_j_per_gb * l2_gbps
+        + arch.power.e_dram_j_per_gb * dram_energy_gbps
+        + arch.power.e_shared_j_per_gb * onchip_gbps
+        + arch.power.p_sm_dynamic_w * occ.occupancy * active * timing.compute_fraction();
+
+    let mut total = constant_power_w + static_power_w + dynamic_power_w;
+    let mut throttled = false;
+    if total > arch.tdp_w {
+        // DVFS: scale frequency until power meets the cap. Dynamic power
+        // scales ~f³, so the frequency (and throughput) drop is the cube
+        // root of the required dynamic reduction.
+        let dyn_budget = (arch.tdp_w - constant_power_w - static_power_w).max(1.0);
+        let scale = (dyn_budget / dynamic_power_w).clamp(0.05, 1.0);
+        let freq_scale = scale.cbrt();
+        time_s /= freq_scale;
+        dynamic_power_w *= scale;
+        total = constant_power_w + static_power_w + dynamic_power_w;
+        throttled = true;
+    }
+
+    let avg_power_w = (total * noise::jitter(fp, POWER_SALT, POWER_JITTER)).max(0.0);
+    let energy_j = avg_power_w * time_s;
+    let gflops = spec.flops_total / 1e9 / time_s;
+
+    SimReport {
+        name: spec.name.clone(),
+        valid: true,
+        time_s,
+        avg_power_w,
+        constant_power_w,
+        static_power_w,
+        dynamic_power_w,
+        energy_j,
+        flops_total: spec.flops_total,
+        gflops,
+        ppw: if avg_power_w > 0.0 {
+            gflops / avg_power_w
+        } else {
+            0.0
+        },
+        l2_sectors_read: traffic.l2_sectors_read.max(0.0) as u64,
+        l2_sectors_written: traffic.l2_sectors_written.max(0.0) as u64,
+        dram_bytes: traffic.dram_bytes,
+        occupancy: occ.occupancy,
+        active_sm_fraction: active,
+        l1_thrash: traffic.l1_thrash,
+        dvfs_throttled: throttled,
+    }
+}
+
+/// Salt for the execution-time jitter stream.
+const TIME_SALT: u64 = 0x7115_0000_0000_0001;
+/// Salt for the power jitter stream (distinct from [`TIME_SALT`]).
+const POWER_SALT: u64 = 0x90e2_0000_0000_0002;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+    use crate::spec::RefAccess;
+    use crate::timing;
+    use crate::traffic;
+
+    fn spec(flops: f64, grid: i64) -> KernelExecSpec {
+        KernelExecSpec {
+            name: "p".into(),
+            grid_blocks: grid,
+            grid_x_blocks: grid.max(1),
+            threads_per_block: 256,
+            points_per_thread: 1,
+            serial_steps_per_block: 10,
+            flops_total: flops,
+            elem_bytes: 8,
+            shared_bytes_per_block: 0,
+            l1_avail_bytes: 96 * 1024,
+            num_refs: 2,
+            refs: vec![RefAccess::streaming("a", 10_000_000, 4096, true)],
+        }
+    }
+
+    fn run(s: &KernelExecSpec) -> SimReport {
+        let arch = GpuArch::ga100();
+        let occ = occupancy(&arch, s);
+        let tr = traffic::model(&arch, s, &occ);
+        let tm = timing::model(&arch, s, &occ, &tr);
+        finish(&arch, s, &occ, &tr, tm)
+    }
+
+    #[test]
+    fn power_components_sum_to_total() {
+        let r = run(&spec(1e12, 50_000));
+        let sum = r.constant_power_w + r.static_power_w + r.dynamic_power_w;
+        // avg_power carries ±1.5% jitter around the component sum.
+        assert!((r.avg_power_w - sum).abs() / sum < 0.02);
+    }
+
+    #[test]
+    fn bigger_problems_draw_more_power_until_tdp() {
+        // Fig. 1: power grows with utilization, then saturates.
+        let small = run(&spec(1e9, 32));
+        let large = run(&spec(5e13, 500_000));
+        assert!(large.avg_power_w > small.avg_power_w);
+        assert!(large.avg_power_w <= GpuArch::ga100().tdp_w * 1.02);
+    }
+
+    #[test]
+    fn tdp_cap_throttles_and_stretches_time() {
+        // A compute-saturating kernel at near-peak FP64 exceeds the 250 W
+        // PCIe cap: e_flop·9700 + SM dynamic + static + constant > TDP.
+        let s = spec(1e15, 500_000);
+        let r = run(&s);
+        assert!(r.dvfs_throttled);
+        assert!(r.avg_power_w <= GpuArch::ga100().tdp_w * 1.02);
+    }
+
+    #[test]
+    fn idle_like_launch_is_dominated_by_constant_and_static() {
+        let r = run(&spec(1e6, 1));
+        assert!(r.dynamic_power_w < r.constant_power_w + r.static_power_w);
+    }
+
+    #[test]
+    fn energy_equals_power_times_time() {
+        let r = run(&spec(1e12, 10_000));
+        assert!((r.energy_j - r.avg_power_w * r.time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_timing_propagates() {
+        let arch = GpuArch::ga100();
+        let s = spec(1e12, 100);
+        let occ = occupancy(&arch, &s);
+        let tr = traffic::model(&arch, &s, &occ);
+        let r = finish(&arch, &s, &occ, &tr, TimingBreakdown::invalid());
+        assert!(!r.valid);
+    }
+}

@@ -1,0 +1,243 @@
+//! Kernel execution specifications — the simulator's input language.
+//!
+//! A [`KernelExecSpec`] summarizes what a tiled GPU kernel does:
+//! launch geometry, arithmetic, and one [`RefAccess`] per distinct array
+//! reference describing footprints, access counts, coalescing and
+//! block-level sharing. The PPCG stand-in (`eatss-ppcg`) lowers a tiled
+//! affine kernel to this form.
+
+/// Per-reference memory behaviour within one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefAccess {
+    /// Array name (diagnostics only).
+    pub name: String,
+    /// Staged through software-managed shared memory (the `SH_set` of
+    /// §IV-E) rather than relying on the L1 cache.
+    pub staged_shared: bool,
+    /// Distinct elements touched per block *per serial tile step* (the
+    /// inner working set that must stay L1/shared resident).
+    pub tile_footprint_elems: i64,
+    /// Distinct elements touched per block over its whole lifetime.
+    pub block_footprint_elems: i64,
+    /// Distinct elements touched by the whole kernel.
+    pub total_footprint_elems: i64,
+    /// Dynamic element accesses issued by all threads of one block.
+    pub accesses_per_block: i64,
+    /// Whether consecutive threads access consecutive elements (coalesced
+    /// along the thread-x dimension).
+    pub coalesced: bool,
+    /// Contiguous run length (elements) along the fastest-varying array
+    /// dimension covered by one tile — drives DRAM row-buffer efficiency.
+    pub contiguous_x_elems: i64,
+    /// Whether different block-x indices touch different data.
+    pub varies_block_x: bool,
+    /// Whether different block-y indices touch different data.
+    pub varies_block_y: bool,
+    /// Whether the reference is written.
+    pub is_write: bool,
+}
+
+impl RefAccess {
+    /// Convenience constructor for a purely streaming reference (each
+    /// block touches its own contiguous chunk exactly once) — useful for
+    /// tests and simple kernels.
+    pub fn streaming(name: &str, total_elems: i64, per_block: i64, coalesced: bool) -> Self {
+        RefAccess {
+            name: name.to_owned(),
+            staged_shared: false,
+            tile_footprint_elems: per_block,
+            block_footprint_elems: per_block,
+            total_footprint_elems: total_elems,
+            accesses_per_block: per_block,
+            coalesced,
+            contiguous_x_elems: per_block,
+            varies_block_x: true,
+            varies_block_y: true,
+            is_write: false,
+        }
+    }
+
+    /// Dynamic accesses per element of block footprint (the reuse factor
+    /// the block extracts from on-chip memories).
+    pub fn reuse_factor(&self) -> f64 {
+        if self.block_footprint_elems == 0 {
+            0.0
+        } else {
+            self.accesses_per_block as f64 / self.block_footprint_elems as f64
+        }
+    }
+}
+
+/// Everything the simulator needs to know about one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelExecSpec {
+    /// Kernel name (diagnostics and noise seeding).
+    pub name: String,
+    /// Number of thread blocks launched.
+    pub grid_blocks: i64,
+    /// Extent of the fastest-varying (x) grid dimension in blocks; block
+    /// ids are scheduled x-first, so this controls which tiles coexist in
+    /// a wave. Use `grid_blocks` for 1-D grids.
+    pub grid_x_blocks: i64,
+    /// Threads per block (≤ `T_P_B`).
+    pub threads_per_block: i64,
+    /// Iteration points each thread covers per serial step (PPCG's
+    /// point-loop multiplicity when the tile exceeds the block).
+    pub points_per_thread: i64,
+    /// Serial tile steps executed by each block (e.g. `K / T_k` for
+    /// matmul) — each ends with a block barrier when staging is used.
+    pub serial_steps_per_block: i64,
+    /// Total floating-point operations of the launch.
+    pub flops_total: f64,
+    /// Element width in bytes (4 = FP32, 8 = FP64).
+    pub elem_bytes: u8,
+    /// Shared memory consumed per block, bytes.
+    pub shared_bytes_per_block: u32,
+    /// L1 cache available per SM under the chosen carve-out, bytes.
+    pub l1_avail_bytes: u64,
+    /// Number of distinct-cache-line references (register-pressure model,
+    /// §IV-G).
+    pub num_refs: u32,
+    /// Per-reference access descriptions.
+    pub refs: Vec<RefAccess>,
+}
+
+impl KernelExecSpec {
+    /// Estimated registers per thread: a fixed base plus per-reference
+    /// address/operand registers scaled by precision (§IV-G, §IV-I), plus
+    /// accumulators for multi-point threads. Clamped to the value range
+    /// real compilers produce.
+    pub fn regs_per_thread(&self) -> u32 {
+        let fp_factor = if self.elem_bytes >= 8 { 2 } else { 1 };
+        let base = 16u32;
+        let per_ref = 3 * self.num_refs * fp_factor;
+        // Point loops are unrolled up to a compiler window (~16 points):
+        // each unrolled point holds value temporaries plus per-reference
+        // address registers.
+        let unrolled = self.points_per_thread.clamp(0, 16) as u32;
+        let acc = 2 * unrolled * fp_factor;
+        let addr = if self.points_per_thread > 1 {
+            2 * self.num_refs
+        } else {
+            0
+        };
+        (base + per_ref + acc + addr).min(512)
+    }
+
+    /// Total dynamic threads of the launch.
+    pub fn total_threads(&self) -> i64 {
+        self.grid_blocks.saturating_mul(self.threads_per_block)
+    }
+
+    /// A stable 64-bit fingerprint of the launch (noise seeding).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::noise::FNV_OFFSET;
+        for b in self.name.as_bytes() {
+            h = crate::noise::fnv_step(h, *b as u64);
+        }
+        for v in [
+            self.grid_blocks as u64,
+            self.threads_per_block as u64,
+            self.points_per_thread as u64,
+            self.serial_steps_per_block as u64,
+            self.flops_total.to_bits(),
+            self.elem_bytes as u64,
+            self.shared_bytes_per_block as u64,
+            self.l1_avail_bytes,
+        ] {
+            h = crate::noise::fnv_step(h, v);
+        }
+        for r in &self.refs {
+            for v in [
+                r.tile_footprint_elems as u64,
+                r.block_footprint_elems as u64,
+                r.accesses_per_block as u64,
+                r.coalesced as u64,
+                r.staged_shared as u64,
+            ] {
+                h = crate::noise::fnv_step(h, v);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> KernelExecSpec {
+        KernelExecSpec {
+            name: "t".into(),
+            grid_blocks: 10,
+            grid_x_blocks: 5,
+            threads_per_block: 128,
+            points_per_thread: 2,
+            serial_steps_per_block: 4,
+            flops_total: 1e6,
+            elem_bytes: 8,
+            shared_bytes_per_block: 1024,
+            l1_avail_bytes: 64 * 1024,
+            num_refs: 3,
+            refs: vec![RefAccess::streaming("a", 1000, 100, true)],
+        }
+    }
+
+    #[test]
+    fn regs_scale_with_precision_and_refs() {
+        let mut s = small_spec();
+        let fp64 = s.regs_per_thread();
+        s.elem_bytes = 4;
+        let fp32 = s.regs_per_thread();
+        assert!(fp64 > fp32);
+        s.num_refs = 6;
+        assert!(s.regs_per_thread() > fp32);
+    }
+
+    #[test]
+    fn regs_are_clamped() {
+        let mut s = small_spec();
+        s.points_per_thread = 100_000;
+        s.num_refs = 40;
+        assert!(s.regs_per_thread() <= 512);
+        // The unroll window caps the point-dependent term.
+        let mut t = small_spec();
+        t.points_per_thread = 16;
+        let at_window = t.regs_per_thread();
+        t.points_per_thread = 1_000;
+        assert_eq!(t.regs_per_thread(), at_window);
+    }
+
+    #[test]
+    fn streaming_constructor_is_self_consistent() {
+        let r = RefAccess::streaming("x", 1_000_000, 256, true);
+        assert_eq!(r.block_footprint_elems, 256);
+        assert_eq!(r.accesses_per_block, 256);
+        assert!((r.reuse_factor() - 1.0).abs() < 1e-12);
+        assert!(!r.is_write);
+    }
+
+    #[test]
+    fn reuse_factor_handles_zero_footprint() {
+        let mut r = RefAccess::streaming("x", 0, 0, true);
+        r.block_footprint_elems = 0;
+        assert_eq!(r.reuse_factor(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_fields() {
+        let a = small_spec();
+        let mut b = small_spec();
+        b.grid_blocks = 11;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = small_spec();
+        c.refs[0].coalesced = false;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), small_spec().fingerprint());
+    }
+
+    #[test]
+    fn total_threads_multiplies() {
+        assert_eq!(small_spec().total_threads(), 1280);
+    }
+}

@@ -1,0 +1,127 @@
+//! A PPCG stand-in: tiling-driven GPU mapping and CUDA code generation
+//! for affine programs.
+//!
+//! The EATSS paper uses the *Polyhedral Parallel Code Generator* \[24\] in
+//! three roles, all reproduced here:
+//!
+//! 1. **baseline tiling** — the `32^d` default configuration
+//!    ([`eatss_affine::tiling::TileConfig::ppcg_default`]) and exhaustive
+//!    tile-space enumeration for the exploratory studies ([`space`]);
+//! 2. **GPU mapping** ([`mapping`]) — assigning parallel tile dimensions
+//!    to the grid/block, capping threads at `T_P_B` with point-loop
+//!    multiplicity, deciding shared-memory staging under a budget, and
+//!    lowering the result to an [`eatss_gpusim::KernelExecSpec`];
+//! 3. **code generation** ([`codegen`]) — emitting the tiled CUDA-C text
+//!    (tile loops, `min` guards, `__shared__` staging, `__syncthreads`).
+//!
+//! # Examples
+//!
+//! ```
+//! use eatss_affine::{parser::parse_program, tiling::TileConfig, ProblemSizes};
+//! use eatss_gpusim::GpuArch;
+//! use eatss_ppcg::{CompileOptions, Ppcg};
+//!
+//! let program = parse_program(
+//!     "kernel mm(M, N, P) {
+//!        for (i: M) for (j: N) for (k: P)
+//!          C[i][j] += A[i][k] * B[k][j];
+//!      }")?;
+//! let ppcg = Ppcg::new(GpuArch::ga100());
+//! let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+//! let compiled = ppcg.compile(
+//!     &program,
+//!     &TileConfig::ppcg_default(3),
+//!     &sizes,
+//!     &CompileOptions::default(),
+//! )?;
+//! assert_eq!(compiled.specs.len(), 1);
+//! assert!(compiled.cuda_source.contains("__global__"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod hostgen;
+pub mod mapping;
+pub mod space;
+
+pub use mapping::{CompileError, CompileOptions, GpuMapping};
+pub use space::TileSpace;
+
+use eatss_affine::tiling::TileConfig;
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::{GpuArch, KernelExecSpec};
+
+/// The PPCG stand-in compiler.
+#[derive(Debug, Clone)]
+pub struct Ppcg {
+    arch: GpuArch,
+}
+
+/// A compiled program: one simulator spec per kernel plus the generated
+/// CUDA source.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// One execution spec per kernel, in program order.
+    pub specs: Vec<KernelExecSpec>,
+    /// One GPU mapping per kernel, in program order.
+    pub mappings: Vec<GpuMapping>,
+    /// Generated CUDA-C source for the whole program.
+    pub cuda_source: String,
+}
+
+impl Ppcg {
+    /// Creates a compiler targeting `arch`.
+    pub fn new(arch: GpuArch) -> Self {
+        Ppcg { arch }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// Compiles a program under a (program-wide) tile configuration.
+    ///
+    /// Kernels shallower than the configuration use its prefix, mirroring
+    /// how the paper applies one tile tuple to multi-kernel programs such
+    /// as 2mm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the tiling is malformed, a problem
+    /// size is unbound, or a kernel cannot be mapped.
+    pub fn compile(
+        &self,
+        program: &Program,
+        tiles: &TileConfig,
+        sizes: &ProblemSizes,
+        options: &CompileOptions,
+    ) -> Result<CompiledProgram, CompileError> {
+        let mut specs = Vec::with_capacity(program.kernels.len());
+        let mut mappings = Vec::with_capacity(program.kernels.len());
+        let mut cuda = codegen::program_header(&program.name, tiles);
+        for kernel in &program.kernels {
+            if kernel.depth() > tiles.len() {
+                return Err(CompileError::NotEnoughTileSizes {
+                    kernel: kernel.name.clone(),
+                    depth: kernel.depth(),
+                    got: tiles.len(),
+                });
+            }
+            let ktiles = tiles.truncated(kernel.depth());
+            let mapping = GpuMapping::compute(kernel, &ktiles, &self.arch, sizes, options)?;
+            cuda.push_str(&codegen::emit_kernel(kernel, &mapping));
+            specs.push(mapping.to_exec_spec());
+            mappings.push(mapping);
+        }
+        cuda.push_str(&hostgen::emit_host(program, &mappings, sizes));
+        Ok(CompiledProgram {
+            specs,
+            mappings,
+            cuda_source: cuda,
+        })
+    }
+}

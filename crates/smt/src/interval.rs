@@ -1,0 +1,359 @@
+//! Closed integer intervals with saturating non-linear arithmetic.
+//!
+//! Intervals are the abstract domain used by the solver's propagation pass:
+//! every integer expression is evaluated to an [`Interval`] that is
+//! guaranteed to contain the expression's value under every assignment
+//! drawn from the current variable domains.
+
+use std::fmt;
+
+/// A closed integer interval `[lo, hi]`.
+///
+/// The empty interval is represented by `lo > hi` and can be obtained from
+/// [`Interval::empty`]. All arithmetic saturates at `i64::MIN/4` and
+/// `i64::MAX/4` so that downstream additions can never overflow; EATSS
+/// formulations stay far below those magnitudes (tile products are at most
+/// `1024^5 ≈ 2^50`).
+///
+/// # Examples
+///
+/// ```
+/// use eatss_smt::Interval;
+///
+/// let a = Interval::new(2, 5);
+/// let b = Interval::new(-1, 3);
+/// assert_eq!(a * b, Interval::new(-5, 15));
+/// assert!((a * b).contains(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: i64,
+    hi: i64,
+}
+
+/// Saturation bound; keeps sums of several products representable.
+const SAT: i64 = i64::MAX / 4;
+
+fn clamp(v: i128) -> i64 {
+    if v > SAT as i128 {
+        SAT
+    } else if v < -(SAT as i128) {
+        -SAT
+    } else {
+        v as i64
+    }
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// An inverted pair (`lo > hi`) is allowed and denotes the empty
+    /// interval.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The interval containing exactly `v`.
+    pub fn singleton(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The canonical empty interval.
+    pub fn empty() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// The widest representable interval.
+    pub fn top() -> Self {
+        Interval { lo: -SAT, hi: SAT }
+    }
+
+    /// Lower bound (meaningless if [`Interval::is_empty`]).
+    pub fn lo(self) -> i64 {
+        self.lo
+    }
+
+    /// Upper bound (meaningless if [`Interval::is_empty`]).
+    pub fn hi(self) -> i64 {
+        self.hi
+    }
+
+    /// Whether the interval contains no integers.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether the interval is a single value.
+    pub fn is_singleton(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval of Euclidean division `self div rhs`.
+    ///
+    /// If `rhs` may be zero, the result is conservatively widened to
+    /// [`Interval::top`] (a concrete division by zero is still reported as
+    /// an error at model-evaluation time).
+    pub fn div_euclid(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        if rhs.contains(0) {
+            return Interval::top();
+        }
+        // rhs is entirely positive or entirely negative; the extrema of a
+        // monotone-by-parts function lie on corner combinations. Euclidean
+        // division is monotone in the dividend for fixed divisor, and the
+        // divisor extremes bound the quotient magnitude.
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for a in [self.lo, self.hi] {
+            for b in [rhs.lo, rhs.hi] {
+                let q = a.div_euclid(b);
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval::new(lo, hi)
+    }
+
+    /// Interval of Euclidean remainder `self mod rhs`.
+    ///
+    /// The result is always within `[0, max|rhs| - 1]`; when both operands
+    /// are singletons the remainder is exact, and when the dividend interval
+    /// spans fewer values than the (singleton, positive) modulus and does not
+    /// wrap, the tight sub-range is returned.
+    pub fn rem_euclid(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        if rhs.contains(0) {
+            let m = rhs.lo.abs().max(rhs.hi.abs());
+            if m == 0 {
+                // Modulus is exactly zero everywhere: no valid result.
+                return Interval::empty();
+            }
+            return Interval::new(0, m - 1);
+        }
+        let m_max = rhs.lo.abs().max(rhs.hi.abs());
+        if self.is_singleton() && rhs.is_singleton() {
+            return Interval::singleton(self.lo.rem_euclid(rhs.lo));
+        }
+        if rhs.is_singleton() {
+            let m = rhs.lo.abs();
+            let span = self.hi as i128 - self.lo as i128;
+            if span < m as i128 {
+                let r_lo = self.lo.rem_euclid(m);
+                let r_hi = self.hi.rem_euclid(m);
+                if r_lo <= r_hi {
+                    return Interval::new(r_lo, r_hi);
+                }
+            }
+            return Interval::new(0, m - 1);
+        }
+        Interval::new(0, m_max - 1)
+    }
+
+    /// Pointwise minimum.
+    pub fn min(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(self.lo.min(rhs.lo), self.hi.min(rhs.hi))
+    }
+
+    /// Pointwise maximum.
+    pub fn max(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(self.lo.max(rhs.lo), self.hi.max(rhs.hi))
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo.max(rhs.lo), self.hi.min(rhs.hi))
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Interval sum.
+    fn add(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(
+            clamp(self.lo as i128 + rhs.lo as i128),
+            clamp(self.hi as i128 + rhs.hi as i128),
+        )
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+
+    /// Interval difference.
+    fn sub(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(
+            clamp(self.lo as i128 - rhs.hi as i128),
+            clamp(self.hi as i128 - rhs.lo as i128),
+        )
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+
+    /// Interval negation.
+    fn neg(self) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    /// Interval product (handles mixed signs via the four corner
+    /// products).
+    fn mul(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        let corners = [
+            self.lo as i128 * rhs.lo as i128,
+            self.lo as i128 * rhs.hi as i128,
+            self.hi as i128 * rhs.lo as i128,
+            self.hi as i128 * rhs.hi as i128,
+        ];
+        let lo = corners.iter().copied().min().expect("non-empty corners");
+        let hi = corners.iter().copied().max().expect("non-empty corners");
+        Interval::new(clamp(lo), clamp(hi))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[]")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_are_exact_on_small_intervals() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(-2, 4);
+        assert_eq!(a + b, Interval::new(-1, 7));
+        assert_eq!(a - b, Interval::new(-3, 5));
+    }
+
+    #[test]
+    fn mul_handles_mixed_signs() {
+        let a = Interval::new(-2, 3);
+        let b = Interval::new(-5, 1);
+        // corners: 10, -2, -15, 3
+        assert_eq!(a * b, Interval::new(-15, 10));
+    }
+
+    #[test]
+    fn mul_of_positives_is_monotone() {
+        let a = Interval::new(2, 8);
+        let b = Interval::new(3, 4);
+        assert_eq!(a * b, Interval::new(6, 32));
+    }
+
+    #[test]
+    fn empty_propagates_through_arithmetic() {
+        let e = Interval::empty();
+        let a = Interval::new(0, 10);
+        assert!((e + a).is_empty());
+        assert!((a * e).is_empty());
+        assert!((-e).is_empty());
+    }
+
+    #[test]
+    fn div_by_interval_containing_zero_is_top() {
+        let a = Interval::new(10, 20);
+        let b = Interval::new(-1, 1);
+        assert_eq!(a.div_euclid(b), Interval::top());
+    }
+
+    #[test]
+    fn div_positive_is_tight_on_corners() {
+        let a = Interval::new(10, 21);
+        let b = Interval::new(2, 5);
+        assert_eq!(a.div_euclid(b), Interval::new(2, 10));
+    }
+
+    #[test]
+    fn rem_singleton_is_exact() {
+        assert_eq!(
+            Interval::singleton(37).rem_euclid(Interval::singleton(16)),
+            Interval::singleton(5)
+        );
+        assert_eq!(
+            Interval::singleton(-3).rem_euclid(Interval::singleton(16)),
+            Interval::singleton(13)
+        );
+    }
+
+    #[test]
+    fn rem_narrow_dividend_is_tight() {
+        // [33, 35] mod 16 = [1, 3]
+        assert_eq!(
+            Interval::new(33, 35).rem_euclid(Interval::singleton(16)),
+            Interval::new(1, 3)
+        );
+        // Wrapping case falls back to [0, 15].
+        assert_eq!(
+            Interval::new(30, 35).rem_euclid(Interval::singleton(16)),
+            Interval::new(0, 15)
+        );
+    }
+
+    #[test]
+    fn saturation_does_not_panic() {
+        let a = Interval::new(i64::MAX / 8, i64::MAX / 8);
+        let b = a * a;
+        assert!(b.hi() <= i64::MAX / 4);
+        let c = b + b;
+        assert!(c.hi() <= i64::MAX / 2);
+    }
+
+    #[test]
+    fn intersect_and_contains_agree() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        let c = a.intersect(b);
+        assert_eq!(c, Interval::new(5, 10));
+        for v in 0..=20 {
+            assert_eq!(c.contains(v), a.contains(v) && b.contains(v));
+        }
+    }
+
+    #[test]
+    fn min_max_are_pointwise() {
+        let a = Interval::new(1, 10);
+        let b = Interval::new(4, 6);
+        assert_eq!(a.min(b), Interval::new(1, 6));
+        assert_eq!(a.max(b), Interval::new(4, 10));
+    }
+}

@@ -1,0 +1,970 @@
+//! The constraint solver: propagation + depth-first branch-and-prune over
+//! finite integer domains, with the paper's iterative maximization loop.
+
+use crate::domain::Domain;
+use crate::expr::{BoolExpr, BoolNode, IntExpr, IntNode, VarId};
+use crate::interval::Interval;
+use crate::model::Model;
+use crate::stats::SolverStats;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors reported by the solver and by model evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// An expression mentions a variable not registered with this solver.
+    UnknownVariable(String),
+    /// A `div` or `mod` divisor evaluated to zero.
+    DivisionByZero,
+    /// [`Solver::pop`] was called with no matching [`Solver::push`].
+    PopWithoutPush,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::UnknownVariable(name) => {
+                write!(f, "expression mentions unregistered variable `{name}`")
+            }
+            SolveError::DivisionByZero => write!(f, "division by zero during evaluation"),
+            SolveError::PopWithoutPush => write!(f, "pop called without a matching push"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Tunable limits for the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Maximum search-tree nodes per `check` call before giving up
+    /// (`complete = false` in the result).
+    pub node_limit: u64,
+    /// Maximum propagation fixpoint rounds per node.
+    pub max_propagation_rounds: u32,
+    /// Try larger values first (helps the maximization loop converge in
+    /// few iterations, like Z3's default behaviour on these formulations).
+    pub descending_values: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            node_limit: 2_000_000,
+            max_propagation_rounds: 16,
+            descending_values: true,
+        }
+    }
+}
+
+/// Result of a [`Solver::check`] call.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// A satisfying assignment, if one was found.
+    pub model: Option<Model>,
+    /// `true` if the search was exhaustive: a `None` model then proves
+    /// unsatisfiability. `false` means the node limit was hit.
+    pub complete: bool,
+}
+
+/// Result of a [`Solver::maximize`] call.
+#[derive(Debug, Clone)]
+pub struct MaximizeOutcome {
+    /// The best model found (none if the constraints are unsatisfiable).
+    pub model: Option<Model>,
+    /// Objective value of [`MaximizeOutcome::model`].
+    pub best: Option<i64>,
+    /// Number of `check` calls performed by the §IV-L loop.
+    pub solver_calls: u32,
+    /// Whether optimality was proved (final `check` was exhaustive-unsat).
+    pub optimal: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+/// A finite-domain non-linear integer constraint solver.
+///
+/// See the [crate docs](crate) for the role this plays in the EATSS
+/// reproduction and a worked example.
+#[derive(Debug)]
+pub struct Solver {
+    names: Vec<String>,
+    base_domains: Vec<Domain>,
+    constraints: Vec<(BoolExpr, Vec<VarId>)>,
+    scopes: Vec<usize>,
+    stats: SolverStats,
+    config: SolverConfig,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default limits.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with explicit limits.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            names: Vec::new(),
+            base_domains: Vec::new(),
+            constraints: Vec::new(),
+            scopes: Vec::new(),
+            stats: SolverStats::default(),
+            config,
+        }
+    }
+
+    /// Registers an integer variable ranging over `[lo, hi]` and returns an
+    /// expression handle for it.
+    ///
+    /// An inverted range (`lo > hi`) yields an empty domain, making the
+    /// whole problem unsatisfiable — mirroring Z3's behaviour when bounds
+    /// conflict.
+    pub fn int_var(&mut self, name: &str, lo: i64, hi: i64) -> IntExpr {
+        self.int_var_in(name, Domain::range(lo, hi))
+    }
+
+    /// Registers an integer variable with an explicit candidate set.
+    pub fn int_var_in(&mut self, name: &str, domain: Domain) -> IntExpr {
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.base_domains.push(domain);
+        IntExpr::var(id, name)
+    }
+
+    /// Number of registered variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds a constraint to the current scope.
+    pub fn assert(&mut self, constraint: BoolExpr) {
+        let mut vars = Vec::new();
+        constraint.collect_vars(&mut vars);
+        self.constraints.push((constraint, vars));
+    }
+
+    /// Opens a backtracking scope ([`Solver::pop`] removes constraints
+    /// asserted after the matching `push`).
+    pub fn push(&mut self) {
+        self.scopes.push(self.constraints.len());
+    }
+
+    /// Closes the most recent scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::PopWithoutPush`] if no scope is open.
+    pub fn pop(&mut self) -> Result<(), SolveError> {
+        let mark = self.scopes.pop().ok_or(SolveError::PopWithoutPush)?;
+        self.constraints.truncate(mark);
+        Ok(())
+    }
+
+    /// Accumulated search statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The constraints currently asserted, in assertion order.
+    pub fn assertions(&self) -> impl Iterator<Item = &BoolExpr> + '_ {
+        self.constraints.iter().map(|(c, _)| c)
+    }
+
+    /// Registered variable names in registration order.
+    pub fn var_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Domain of a registered variable, if `var` belongs to this solver.
+    pub fn domain_of(&self, var: VarId) -> Option<&Domain> {
+        self.base_domains.get(var.index())
+    }
+
+    fn validate(&self) -> Result<(), SolveError> {
+        for (c, vars) in &self.constraints {
+            for v in vars {
+                if v.index() >= self.names.len() {
+                    return Err(SolveError::UnknownVariable(format!(
+                        "var#{} in `{}`",
+                        v.index(),
+                        c
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Interval-evaluates an integer expression under the variables'
+    /// base domains — a sound (possibly loose) bound on its value over
+    /// the whole space, useful as the `hi` hint for
+    /// [`Solver::maximize_binary`].
+    pub fn hull_bounds(&self, expr: &IntExpr) -> Interval {
+        let hulls: Vec<Interval> = self.base_domains.iter().map(Domain::hull).collect();
+        bounds(expr, &hulls)
+    }
+
+    /// Decides satisfiability of the asserted constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::UnknownVariable`] if a constraint references a
+    /// variable from another solver.
+    pub fn check(&mut self) -> Result<SolveResult, SolveError> {
+        self.validate()?;
+        let started = Instant::now();
+        self.stats.checks += 1;
+        let mut search = Search {
+            names: &self.names,
+            constraints: &self.constraints,
+            config: &self.config,
+            stats: &mut self.stats,
+            nodes_at_entry: 0,
+            limit_hit: false,
+        };
+        search.nodes_at_entry = search.stats.nodes;
+        let domains = self.base_domains.clone();
+        let found = search.dfs(domains);
+        let complete = !search.limit_hit;
+        let model = found.map(|values| Model::new(values, self.names.clone()));
+        self.stats.solve_time += started.elapsed();
+        Ok(SolveResult { model, complete })
+    }
+
+    /// Maximizes `objective` with the paper's §IV-L loop: find a first
+    /// satisfying model, then repeatedly assert `objective > best` and
+    /// re-check until unsatisfiable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Solver::check`] errors, plus evaluation errors when
+    /// computing the objective value of an intermediate model.
+    pub fn maximize(&mut self, objective: &IntExpr) -> Result<MaximizeOutcome, SolveError> {
+        self.push();
+        let mut best: Option<(i64, Model)> = None;
+        let mut calls = 0u32;
+        let optimal;
+        loop {
+            let result = match self.check() {
+                Ok(r) => r,
+                Err(e) => {
+                    self.pop()?;
+                    return Err(e);
+                }
+            };
+            calls += 1;
+            match result.model {
+                Some(model) => {
+                    let value = match model.eval(objective) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            self.pop()?;
+                            return Err(e);
+                        }
+                    };
+                    best = Some((value, model));
+                    self.assert(objective.gt(value));
+                }
+                None => {
+                    optimal = result.complete;
+                    break;
+                }
+            }
+        }
+        self.pop()?;
+        let (best_value, model) = match best {
+            Some((v, m)) => (Some(v), Some(m)),
+            None => (None, None),
+        };
+        Ok(MaximizeOutcome {
+            model,
+            best: best_value,
+            solver_calls: calls,
+            optimal,
+        })
+    }
+
+    /// Maximizes `objective` by binary search over its value range instead
+    /// of the paper's linear `OBJ > best` loop — an extension that needs
+    /// `O(log range)` solver calls. Produces the same optimum as
+    /// [`Solver::maximize`]; exposed so the ablation benches can compare
+    /// the two strategies (§V-G discusses solver-call counts).
+    ///
+    /// `hi` must be an upper bound on the objective over the feasible
+    /// space (e.g. from interval arithmetic); values above it are never
+    /// probed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Solver::maximize`].
+    pub fn maximize_binary(
+        &mut self,
+        objective: &IntExpr,
+        hi: i64,
+    ) -> Result<MaximizeOutcome, SolveError> {
+        self.push();
+        let mut calls = 0u32;
+        // First find any model to anchor the lower bound.
+        let first = match self.check() {
+            Ok(r) => r,
+            Err(e) => {
+                self.pop()?;
+                return Err(e);
+            }
+        };
+        calls += 1;
+        let Some(first_model) = first.model else {
+            self.pop()?;
+            return Ok(MaximizeOutcome {
+                model: None,
+                best: None,
+                solver_calls: calls,
+                optimal: first.complete,
+            });
+        };
+        let mut best_value = match first_model.eval(objective) {
+            Ok(v) => v,
+            Err(e) => {
+                self.pop()?;
+                return Err(e);
+            }
+        };
+        let mut best_model = first_model;
+        let mut complete = true;
+        let mut lo = best_value; // known achievable
+        let mut hi = hi.max(lo);
+        while lo < hi {
+            // Probe the upper half: is there a model with value > mid?
+            let mid = lo + (hi - lo) / 2;
+            self.push();
+            self.assert(objective.gt(mid));
+            let result = match self.check() {
+                Ok(r) => r,
+                Err(e) => {
+                    self.pop()?;
+                    self.pop()?;
+                    return Err(e);
+                }
+            };
+            calls += 1;
+            complete &= result.complete || result.model.is_some();
+            match result.model {
+                Some(model) => {
+                    let value = match model.eval(objective) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            self.pop()?;
+                            self.pop()?;
+                            return Err(e);
+                        }
+                    };
+                    best_value = value.max(best_value);
+                    best_model = model;
+                    lo = best_value;
+                }
+                None => {
+                    hi = mid;
+                }
+            }
+            self.pop()?;
+        }
+        self.pop()?;
+        Ok(MaximizeOutcome {
+            model: Some(best_model),
+            best: Some(best_value),
+            solver_calls: calls,
+            optimal: complete,
+        })
+    }
+
+    /// Minimizes `objective` (implemented as maximization of its negation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Solver::maximize`].
+    pub fn minimize(&mut self, objective: &IntExpr) -> Result<MaximizeOutcome, SolveError> {
+        let neg = -objective.clone();
+        let mut outcome = self.maximize(&neg)?;
+        outcome.best = outcome.best.map(|v| -v);
+        Ok(outcome)
+    }
+
+    /// Enumerates up to `max_models` distinct satisfying assignments by
+    /// adding blocking clauses. Intended for tests and small spaces.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Solver::check`].
+    pub fn enumerate(&mut self, max_models: usize) -> Result<Vec<Model>, SolveError> {
+        self.push();
+        let mut models = Vec::new();
+        while models.len() < max_models {
+            let result = match self.check() {
+                Ok(r) => r,
+                Err(e) => {
+                    self.pop()?;
+                    return Err(e);
+                }
+            };
+            let Some(model) = result.model else { break };
+            let blocking = BoolExpr::any((0..self.names.len()).map(|i| {
+                let id = VarId(i as u32);
+                let var = IntExpr::var(id, &self.names[i]);
+                let v = model.value_of(id).expect("model covers all vars");
+                var.ne_expr(v)
+            }));
+            models.push(model);
+            self.assert(blocking);
+        }
+        self.pop()?;
+        Ok(models)
+    }
+}
+
+struct Search<'a> {
+    names: &'a [String],
+    constraints: &'a [(BoolExpr, Vec<VarId>)],
+    config: &'a SolverConfig,
+    stats: &'a mut SolverStats,
+    nodes_at_entry: u64,
+    limit_hit: bool,
+}
+
+impl Search<'_> {
+    fn nodes_used(&self) -> u64 {
+        self.stats.nodes - self.nodes_at_entry
+    }
+
+    /// Returns a satisfying assignment extending `domains`, or `None`.
+    fn dfs(&mut self, mut domains: Vec<Domain>) -> Option<Vec<i64>> {
+        if !self.propagate(&mut domains) {
+            return None;
+        }
+        if let Some(values) = assignment_of(&domains) {
+            // Every domain is a singleton; do a final exact check (interval
+            // reasoning may have left some constraints undecided).
+            let model = Model::new(values.clone(), self.names.to_vec());
+            for (c, _) in self.constraints {
+                match model.eval_bool(c) {
+                    Ok(true) => {}
+                    // Division by zero under this assignment: treat the
+                    // candidate as violating, like Z3's total-function
+                    // semantics never would satisfy our guarded uses.
+                    Ok(false) | Err(_) => return None,
+                }
+            }
+            return Some(values);
+        }
+        // Branch on the smallest non-singleton domain.
+        let (var_idx, _) = domains
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.len() > 1)
+            .min_by_key(|(_, d)| d.len())?;
+        let candidates: Vec<i64> = if self.config.descending_values {
+            domains[var_idx].iter().rev().collect()
+        } else {
+            domains[var_idx].iter().collect()
+        };
+        for value in candidates {
+            if self.nodes_used() >= self.config.node_limit {
+                self.limit_hit = true;
+                return None;
+            }
+            self.stats.nodes += 1;
+            let mut child = domains.clone();
+            child[var_idx] = Domain::singleton(value);
+            if let Some(values) = self.dfs(child) {
+                return Some(values);
+            }
+            self.stats.backtracks += 1;
+            if self.limit_hit {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Filters domains until fixpoint. Returns `false` on inconsistency.
+    fn propagate(&mut self, domains: &mut [Domain]) -> bool {
+        for _ in 0..self.config.max_propagation_rounds {
+            self.stats.propagations += 1;
+            let mut changed = false;
+            for (constraint, vars) in self.constraints {
+                let hulls: Vec<Interval> = domains.iter().map(Domain::hull).collect();
+                match tri_bool(constraint, &hulls) {
+                    Tri::False => return false,
+                    Tri::True => continue,
+                    Tri::Unknown => {}
+                }
+                for &var in vars {
+                    let idx = var.index();
+                    if domains[idx].len() <= 1 {
+                        continue;
+                    }
+                    // Large domains are filtered by hull only (cheap); small
+                    // ones get exact value filtering.
+                    if domains[idx].len() > 4096 {
+                        continue;
+                    }
+                    let mut probe = hulls.clone();
+                    let before = domains[idx].len();
+                    let constraint_ref = constraint;
+                    domains[idx].retain(|&v| {
+                        probe[idx] = Interval::singleton(v);
+                        let verdict = tri_bool(constraint_ref, &probe);
+                        verdict != Tri::False
+                    });
+                    let removed = before - domains[idx].len();
+                    if removed > 0 {
+                        self.stats.values_pruned += removed as u64;
+                        changed = true;
+                        if domains[idx].is_empty() {
+                            return false;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+}
+
+fn assignment_of(domains: &[Domain]) -> Option<Vec<i64>> {
+    domains.iter().map(Domain::as_singleton).collect()
+}
+
+/// Interval evaluation of an integer expression given per-variable hulls.
+fn bounds(expr: &IntExpr, hulls: &[Interval]) -> Interval {
+    match &*expr.0 {
+        IntNode::Const(v) => Interval::singleton(*v),
+        IntNode::Var(id, _) => hulls
+            .get(id.index())
+            .copied()
+            .unwrap_or_else(Interval::top),
+        IntNode::Add(xs) => xs
+            .iter()
+            .fold(Interval::singleton(0), |acc, x| acc + bounds(x, hulls)),
+        IntNode::Mul(xs) => xs
+            .iter()
+            .fold(Interval::singleton(1), |acc, x| acc * bounds(x, hulls)),
+        IntNode::Sub(a, b) => bounds(a, hulls) - bounds(b, hulls),
+        IntNode::Neg(a) => -bounds(a, hulls),
+        IntNode::Div(a, b) => bounds(a, hulls).div_euclid(bounds(b, hulls)),
+        IntNode::Mod(a, b) => bounds(a, hulls).rem_euclid(bounds(b, hulls)),
+        IntNode::Min(a, b) => bounds(a, hulls).min(bounds(b, hulls)),
+        IntNode::Max(a, b) => bounds(a, hulls).max(bounds(b, hulls)),
+    }
+}
+
+fn tri_cmp(op: crate::expr::CmpOp, a: Interval, b: Interval) -> Tri {
+    use crate::expr::CmpOp::*;
+    if a.is_empty() || b.is_empty() {
+        return Tri::False;
+    }
+    match op {
+        Le => {
+            if a.hi() <= b.lo() {
+                Tri::True
+            } else if a.lo() > b.hi() {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Lt => {
+            if a.hi() < b.lo() {
+                Tri::True
+            } else if a.lo() >= b.hi() {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Ge => tri_cmp(Le, b, a),
+        Gt => tri_cmp(Lt, b, a),
+        Eq => {
+            if a.is_singleton() && b.is_singleton() && a.lo() == b.lo() {
+                Tri::True
+            } else if a.intersect(b).is_empty() {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Ne => match tri_cmp(Eq, a, b) {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        },
+    }
+}
+
+/// Kleene three-valued evaluation of a constraint under interval hulls.
+fn tri_bool(expr: &BoolExpr, hulls: &[Interval]) -> Tri {
+    match &*expr.0 {
+        BoolNode::True => Tri::True,
+        BoolNode::False => Tri::False,
+        BoolNode::Cmp(op, a, b) => tri_cmp(*op, bounds(a, hulls), bounds(b, hulls)),
+        BoolNode::And(xs) => {
+            let mut any_unknown = false;
+            for x in xs {
+                match tri_bool(x, hulls) {
+                    Tri::False => return Tri::False,
+                    Tri::Unknown => any_unknown = true,
+                    Tri::True => {}
+                }
+            }
+            if any_unknown {
+                Tri::Unknown
+            } else {
+                Tri::True
+            }
+        }
+        BoolNode::Or(xs) => {
+            let mut any_unknown = false;
+            for x in xs {
+                match tri_bool(x, hulls) {
+                    Tri::True => return Tri::True,
+                    Tri::Unknown => any_unknown = true,
+                    Tri::False => {}
+                }
+            }
+            if any_unknown {
+                Tri::Unknown
+            } else {
+                Tri::False
+            }
+        }
+        BoolNode::Not(a) => match tri_bool(a, hulls) {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        },
+        BoolNode::Implies(a, b) => match (tri_bool(a, hulls), tri_bool(b, hulls)) {
+            (Tri::False, _) | (_, Tri::True) => Tri::True,
+            (Tri::True, Tri::False) => Tri::False,
+            _ => Tri::Unknown,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 10);
+        s.assert(x.ge(5));
+        let r = s.check().unwrap();
+        assert!(r.complete);
+        let m = r.model.unwrap();
+        assert!(m.value_of_name("x").unwrap() >= 5);
+
+        s.assert(x.lt(5));
+        let r = s.check().unwrap();
+        assert!(r.complete);
+        assert!(r.model.is_none());
+    }
+
+    #[test]
+    fn empty_domain_is_unsat() {
+        let mut s = Solver::new();
+        let _ = s.int_var("x", 10, 1);
+        let r = s.check().unwrap();
+        assert!(r.model.is_none());
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn nonlinear_product_constraint() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 100);
+        let y = s.int_var("y", 1, 100);
+        s.assert((x.clone() * y.clone()).eq_expr(91)); // 7 * 13
+        s.assert(x.gt(1));
+        s.assert(x.lt(y.clone()));
+        let m = s.check().unwrap().model.unwrap();
+        assert_eq!(m.value_of_name("x"), Some(7));
+        assert_eq!(m.value_of_name("y"), Some(13));
+    }
+
+    #[test]
+    fn divisibility_constraints() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 64);
+        s.assert(x.modulo(16).eq_expr(0));
+        s.assert(x.modulo(3).eq_expr(0));
+        let m = s.check().unwrap().model.unwrap();
+        assert_eq!(m.value_of_name("x"), Some(48));
+    }
+
+    #[test]
+    fn maximize_follows_paper_loop() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 64);
+        let y = s.int_var("y", 1, 64);
+        s.assert((x.clone() * y.clone()).le(100));
+        let obj = x.clone() + y.clone();
+        let out = s.maximize(&obj).unwrap();
+        assert!(out.optimal);
+        // Best of x + y with x*y <= 100 and x,y in [1,64]: x=1, y=64 -> 65.
+        assert_eq!(out.best, Some(65));
+        assert!(out.solver_calls >= 2, "at least one improve + final unsat");
+        // The scope was popped: the original problem is still satisfiable.
+        assert!(s.check().unwrap().model.is_some());
+    }
+
+    #[test]
+    fn maximize_unsat_returns_no_model() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 10);
+        s.assert(x.gt(20));
+        let out = s.maximize(&x).unwrap();
+        assert!(out.model.is_none());
+        assert_eq!(out.best, None);
+        assert_eq!(out.solver_calls, 1);
+        assert!(out.optimal);
+    }
+
+    #[test]
+    fn minimize_negates_correctly() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 3, 10);
+        let out = s.minimize(&x).unwrap();
+        assert_eq!(out.best, Some(3));
+    }
+
+    #[test]
+    fn paper_matmul_example_formulation() {
+        // §IV-A: maximize Ti*Tj + (2*16*Tj) subject to the GA100 FP64
+        // constraints with a 50% split and WARP_ALIGNMENT_FACTOR = 16:
+        //   Bsize*3*2 <= 64K, Ti*Tj + Tk*Tj <= 12288, Ti*Tk <= 12288.
+        // The paper reports the solution Ti=16, Tj=384, Tk=16.
+        let mut s = Solver::new();
+        let cap = 12_288; // 96 KiB / 8 bytes (FP64 elements)
+        let ti = s.int_var("Ti", 1, 1024);
+        let tj = s.int_var("Tj", 1, 1024);
+        let tk = s.int_var("Tk", 1, 1024);
+        for t in [&ti, &tj, &tk] {
+            s.assert(t.modulo(16).eq_expr(0));
+        }
+        let bsize = ti.clone() * tj.clone();
+        s.assert((bsize.clone() * IntExpr::constant(3) * IntExpr::constant(2)).le(65_536));
+        s.assert((ti.clone() * tj.clone() + tk.clone() * tj.clone()).le(cap));
+        s.assert((ti.clone() * tk.clone()).le(cap));
+        let obj = bsize + IntExpr::constant(2 * 16) * tj.clone();
+        let out = s.maximize(&obj).unwrap();
+        assert!(out.optimal);
+        let m = out.model.unwrap();
+        let (i, j, k) = (
+            m.value_of_name("Ti").unwrap(),
+            m.value_of_name("Tj").unwrap(),
+            m.value_of_name("Tk").unwrap(),
+        );
+        // Optimality: the paper's solution value is a lower bound on ours.
+        let paper = 16 * 384 + 32 * 384;
+        assert!(out.best.unwrap() >= paper, "found {i},{j},{k}");
+        // And our solution must satisfy all constraints.
+        assert!(i * j + k * j <= cap && i * k <= cap);
+        assert_eq!(out.best.unwrap(), i * j + 32 * j);
+    }
+
+    #[test]
+    fn push_pop_scopes() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        s.assert(x.ge(1));
+        s.push();
+        s.assert(x.le(0));
+        assert!(s.check().unwrap().model.is_none());
+        s.pop().unwrap();
+        assert!(s.check().unwrap().model.is_some());
+        assert!(matches!(s.pop(), Err(SolveError::PopWithoutPush)));
+    }
+
+    #[test]
+    fn enumerate_finds_all_models() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 3);
+        let y = s.int_var("y", 1, 3);
+        s.assert(x.lt(y.clone()));
+        let models = s.enumerate(100).unwrap();
+        // (1,2), (1,3), (2,3)
+        assert_eq!(models.len(), 3);
+        // Enumeration must not leave blocking clauses behind.
+        assert!(s.check().unwrap().model.is_some());
+    }
+
+    #[test]
+    fn node_limit_reports_incomplete() {
+        let mut s = Solver::with_config(SolverConfig {
+            node_limit: 0,
+            ..SolverConfig::default()
+        });
+        let x = s.int_var("x", 1, 1000);
+        let y = s.int_var("y", 1, 1000);
+        // Interval propagation cannot decide this (the mod image always
+        // contains 3 while either variable is non-singleton), so the solver
+        // must branch — which the zero node budget forbids.
+        s.assert(
+            (x.clone() * IntExpr::constant(31) + y.clone() * IntExpr::constant(17))
+                .modulo(97)
+                .eq_expr(3),
+        );
+        let r = s.check().unwrap();
+        assert!(r.model.is_none());
+        assert!(!r.complete, "limit must be reported as incomplete");
+    }
+
+    #[test]
+    fn foreign_variable_is_an_error() {
+        let mut a = Solver::new();
+        let mut b = Solver::new();
+        b.int_var("p", 0, 1);
+        b.int_var("q", 0, 1);
+        let foreign = b.int_var("r", 0, 1);
+        a.assert(foreign.ge(0));
+        assert!(matches!(
+            a.check(),
+            Err(SolveError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 100);
+        s.assert(x.modulo(7).eq_expr(0));
+        let _ = s.check().unwrap();
+        let _ = s.check().unwrap();
+        assert_eq!(s.stats().checks, 2);
+        s.reset_stats();
+        assert_eq!(s.stats().checks, 0);
+    }
+
+    #[test]
+    fn implies_and_or_constraints() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 0, 10);
+        let y = s.int_var("y", 0, 10);
+        s.assert(x.gt(5).implies(y.eq_expr(0)));
+        s.assert(x.gt(5).or(x.eq_expr(0)));
+        s.assert(y.ge(0));
+        let m = s.check().unwrap().model.unwrap();
+        let (xv, yv) = (
+            m.value_of_name("x").unwrap(),
+            m.value_of_name("y").unwrap(),
+        );
+        assert!((xv > 5 && yv == 0) || xv == 0);
+    }
+
+    #[test]
+    fn min_max_expressions_constrain() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 20);
+        let y = s.int_var("y", 1, 20);
+        s.assert(x.min(y.clone()).eq_expr(5));
+        s.assert(x.max(y.clone()).eq_expr(9));
+        let m = s.check().unwrap().model.unwrap();
+        let (xv, yv) = (
+            m.value_of_name("x").unwrap(),
+            m.value_of_name("y").unwrap(),
+        );
+        assert_eq!(xv.min(yv), 5);
+        assert_eq!(xv.max(yv), 9);
+    }
+
+    #[test]
+    fn maximize_binary_matches_iterative() {
+        let build = || {
+            let mut s = Solver::new();
+            let x = s.int_var("x", 1, 64);
+            let y = s.int_var("y", 1, 64);
+            s.assert((x.clone() * y.clone()).le(100));
+            s.assert(x.modulo(4).eq_expr(0));
+            let obj = x.clone() * y.clone() + y;
+            (s, obj)
+        };
+        let (mut a, obj_a) = build();
+        let linear = a.maximize(&obj_a).unwrap();
+        let (mut b, obj_b) = build();
+        let binary = b.maximize_binary(&obj_b, 64 * 64 + 64).unwrap();
+        assert_eq!(linear.best, binary.best);
+        assert!(binary.optimal);
+        // log2(range) probes: far fewer than a fine-grained linear climb
+        // would need in the worst case.
+        assert!(binary.solver_calls <= 16, "{} calls", binary.solver_calls);
+    }
+
+    #[test]
+    fn maximize_binary_unsat_and_scope_hygiene() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 10);
+        s.assert(x.gt(100));
+        let out = s.maximize_binary(&x, 10).unwrap();
+        assert!(out.model.is_none());
+        assert!(out.optimal);
+        // Scopes fully popped: the base problem is still just the assert.
+        assert!(s.check().unwrap().model.is_none());
+        assert!(matches!(s.pop(), Err(SolveError::PopWithoutPush)));
+    }
+
+    #[test]
+    fn maximize_binary_with_tight_hint() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 1000);
+        s.assert(x.modulo(7).eq_expr(0));
+        // hi below the true optimum is corrected by the achieved value.
+        let out = s.maximize_binary(&x, 994).unwrap();
+        assert_eq!(out.best, Some(994));
+    }
+
+    /// Brute-force cross-check on a small non-linear problem.
+    #[test]
+    fn matches_brute_force_on_small_space() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 12);
+        let y = s.int_var("y", 1, 12);
+        let z = s.int_var("z", 1, 12);
+        s.assert((x.clone() * y.clone() * z.clone()).le(50));
+        s.assert((x.clone() + y.clone()).gt(z.clone()));
+        s.assert(x.modulo(2).eq_expr(0));
+        let obj = x.clone() * y.clone() + z.clone();
+        let out = s.maximize(&obj).unwrap();
+        let mut best = i64::MIN;
+        for xv in 1..=12i64 {
+            for yv in 1..=12i64 {
+                for zv in 1..=12i64 {
+                    if xv * yv * zv <= 50 && xv + yv > zv && xv % 2 == 0 {
+                        best = best.max(xv * yv + zv);
+                    }
+                }
+            }
+        }
+        assert_eq!(out.best, Some(best));
+    }
+}

@@ -1,0 +1,98 @@
+//! Solver instrumentation.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated across all `check` calls on one
+/// [`Solver`](crate::Solver).
+///
+/// The paper's §V-G reports Z3 overheads (number of solver calls and
+/// per-call latency); these counters let the reproduction report the same
+/// quantities for the stand-in solver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `check` invocations (a `maximize` performs several).
+    pub checks: u64,
+    /// Search-tree nodes expanded (variable assignments tried).
+    pub nodes: u64,
+    /// Domain-filtering passes executed.
+    pub propagations: u64,
+    /// Candidate values pruned by propagation.
+    pub values_pruned: u64,
+    /// Backtracks taken (assignments that led to a dead end).
+    pub backtracks: u64,
+    /// Wall-clock time spent inside `check`.
+    pub solve_time: Duration,
+}
+
+impl SolverStats {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = SolverStats::default();
+    }
+
+    /// Mean time per `check` call, or zero if none were made.
+    pub fn mean_check_time(&self) -> Duration {
+        if self.checks == 0 {
+            Duration::ZERO
+        } else {
+            self.solve_time / self.checks as u32
+        }
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checks={} nodes={} propagations={} pruned={} backtracks={} time={:?}",
+            self.checks,
+            self.nodes,
+            self.propagations,
+            self.values_pruned,
+            self.backtracks,
+            self.solve_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_check_time_handles_zero_checks() {
+        let s = SolverStats::default();
+        assert_eq!(s.mean_check_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_check_time_divides() {
+        let s = SolverStats {
+            checks: 4,
+            solve_time: Duration::from_millis(100),
+            ..SolverStats::default()
+        };
+        assert_eq!(s.mean_check_time(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = SolverStats {
+            checks: 1,
+            nodes: 2,
+            propagations: 3,
+            values_pruned: 4,
+            backtracks: 5,
+            solve_time: Duration::from_secs(1),
+        };
+        s.reset();
+        assert_eq!(s, SolverStats::default());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = SolverStats::default();
+        assert!(s.to_string().contains("checks=0"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Support crate for the runnable examples (`cargo run -p eatss-examples
+//! --bin <name>`). The examples themselves live next to this file:
+//!
+//! * `quickstart` — select tiles for matmul and inspect the solution;
+//! * `gemm_energy_tuning` — sweep shared-memory splits on gemm and
+//!   compare performance/energy against default PPCG;
+//! * `stencil_sweep` — tile-space exploration of jacobi-2d on both GPUs;
+//! * `custom_kernel` — bring your own affine kernel source end-to-end.
+
+#![forbid(unsafe_code)]

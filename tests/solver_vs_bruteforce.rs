@@ -1,0 +1,152 @@
+//! Cross-validation of the EATSS model generator against brute force:
+//! on problem sizes small enough to enumerate, the solver's selection
+//! must attain the true optimum of the §IV objective subject to the
+//! §IV constraints.
+
+use eatss::{EatssConfig, ModelGenerator, Precision, ThreadBlockCap};
+use eatss_affine::analysis::AccessAnalysis;
+use eatss_affine::parser::parse_program;
+use eatss_affine::ProblemSizes;
+use eatss_gpusim::GpuArch;
+
+/// Brute-force optimum of the matmul formulation over aligned tiles.
+fn matmul_bruteforce(
+    arch: &GpuArch,
+    config: &EatssConfig,
+    upper: &[i64; 3],
+) -> Option<(i64, [i64; 3])> {
+    let waf = config.warp_alignment_factor(arch);
+    let elem = config.precision.elem_bytes() as i64;
+    let fp = config.precision.fp_factor();
+    let l1sh = arch.l1_shared_bytes as i64 / elem;
+    let split = config.split_factor;
+    let cap_sh = ((l1sh as f64 * split) as i64)
+        .min(arch.max_shared_per_block as i64 / elem);
+    let cap_l1 = (l1sh as f64 * (1.0 - split)) as i64;
+    let l2 = arch.l2_bytes as i64 / elem;
+    let mut best: Option<(i64, [i64; 3])> = None;
+    let candidates = |hi: i64| (1..=hi).filter(move |t| t % waf == 0);
+    for ti in candidates(upper[0]) {
+        for tj in candidates(upper[1]) {
+            for tk in candidates(upper[2]) {
+                let bsize = ti * tj;
+                if config.cap == ThreadBlockCap::Strict && bsize > 1024 {
+                    continue;
+                }
+                if bsize * 3 * fp > arch.regs_per_sm as i64 {
+                    continue;
+                }
+                let (m_l1, m_sh) = if cap_sh <= 0 {
+                    (ti * tj + tk * tj + ti * tk, 0)
+                } else {
+                    (ti * tj + tk * tj, ti * tk)
+                };
+                if cap_sh > 0 && m_sh > cap_sh {
+                    continue;
+                }
+                if m_l1 > cap_l1 {
+                    continue;
+                }
+                if m_l1 + m_sh > l2 {
+                    continue;
+                }
+                let obj = bsize + 2 * waf * tj;
+                if best.map(|(b, _)| obj > b).unwrap_or(true) {
+                    best = Some((obj, [ti, tj, tk]));
+                }
+            }
+        }
+    }
+    best
+}
+
+fn matmul_program() -> eatss_affine::Program {
+    parse_program(
+        "kernel matmul(M, N, P) {
+           for (i: M) for (j: N) for (k: P)
+             Out[i][j] += In[i][k] * Ker[k][j];
+         }",
+    )
+    .expect("static source")
+}
+
+#[test]
+fn solver_matches_bruteforce_across_configs() {
+    let arch = GpuArch::ga100();
+    let program = matmul_program();
+    // Sanity: the brute force replicates the real H-weights.
+    let analysis = AccessAnalysis::analyze(&program.kernels[0]);
+    assert_eq!(analysis.h_weights(16), vec![0, 32, 0]);
+
+    for split in [0.0, 0.5, 0.67, 1.0] {
+        for frac in [0.25, 0.5] {
+            for cap in [ThreadBlockCap::Virtual, ThreadBlockCap::Strict] {
+                for precision in [Precision::F32, Precision::F64] {
+                    let config = EatssConfig {
+                        split_factor: split,
+                        warp_fraction: frac,
+                        cap,
+                        precision,
+                    };
+                    if split == 1.0 {
+                        // §IV-H replaces the L1 bound with the per-SM L2
+                        // share; the brute force above does not model
+                        // that branch — skip it here (covered by unit
+                        // tests in eatss::model).
+                        continue;
+                    }
+                    let n = 480i64;
+                    let sizes =
+                        ProblemSizes::new([("M", n), ("N", n), ("P", n)]);
+                    let solved = ModelGenerator::new(&arch, config.clone())
+                        .build(&program, Some(&sizes))
+                        .expect("build succeeds")
+                        .solve();
+                    let brute = matmul_bruteforce(&arch, &config, &[n, n, n]);
+                    match (solved, brute) {
+                        (Ok(solution), Some((best_obj, _))) => {
+                            assert_eq!(
+                                solution.objective, best_obj,
+                                "split {split} frac {frac} cap {cap:?} \
+                                 {precision:?}: solver found {} (tiles {}), \
+                                 brute force {best_obj}",
+                                solution.objective, solution.tiles
+                            );
+                        }
+                        (Err(_), None) => {} // both infeasible: consistent
+                        (Ok(s), None) => panic!(
+                            "solver found {} but brute force says infeasible",
+                            s.tiles
+                        ),
+                        (Err(e), Some((obj, t))) => panic!(
+                            "solver infeasible ({e}) but brute force found \
+                             {obj} at {t:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_matches_bruteforce_with_tiny_extents() {
+    // Clipped upper bounds (problem smaller than T_P_B) must agree too.
+    let arch = GpuArch::xavier();
+    let program = matmul_program();
+    for n in [16i64, 48, 96] {
+        let config = EatssConfig {
+            warp_fraction: 0.25,
+            ..EatssConfig::default()
+        };
+        let sizes = ProblemSizes::new([("M", n), ("N", n), ("P", n)]);
+        let solved = ModelGenerator::new(&arch, config.clone())
+            .build(&program, Some(&sizes))
+            .expect("build succeeds")
+            .solve()
+            .expect("feasible at WAF=8");
+        let brute =
+            matmul_bruteforce(&arch, &config, &[n, n, n]).expect("brute feasible");
+        assert_eq!(solved.objective, brute.0, "n = {n}");
+    }
+}
