@@ -30,6 +30,7 @@ fn main() {
             "EATSS PPW",
             "PPW ratio",
             "space",
+            "prov",
         ]);
         let mut ppw_ratios: Vec<f64> = Vec::new();
         for b in eatss_kernels::polybench() {
@@ -72,6 +73,7 @@ fn main() {
                 fmt_f(best.report.ppw),
                 fmt_f(ratio),
                 format!("{}/{}", s.valid, s.total),
+                best.solution.provenance.to_string(),
             ]);
         }
         println!("{}", t.render());

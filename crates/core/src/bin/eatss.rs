@@ -12,18 +12,21 @@
 //!   --size NAME=VALUE          bind a problem-size parameter (repeatable)
 //!   --dataset standard|xl      use a registered benchmark's dataset
 //!   --sweep                    run the split x warp-fraction sweep
+//!   --deadline-ms <N>          wall-clock solve budget per point (anytime)
 //!   --emit-smt                 print the SMT-LIB formulation
 //!   --emit-cuda                print the generated CUDA for the selection
 //!   --evaluate                 measure the selection on the GPU model
 //! ```
 
-use eatss::{Eatss, EatssConfig, ModelGenerator, Precision, ThreadBlockCap};
+use eatss::{Eatss, EatssConfig, ModelGenerator, Precision, SweepOptions, ThreadBlockCap};
 use eatss_affine::parser::parse_program;
 use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
-use eatss_ppcg::{Ppcg};
+use eatss_ppcg::Ppcg;
+use eatss_smt::SolverConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     input: String,
@@ -32,6 +35,7 @@ struct Options {
     sizes: Vec<(String, i64)>,
     dataset: Option<eatss_kernels::Dataset>,
     sweep: bool,
+    deadline: Option<Duration>,
     emit_smt: bool,
     emit_cuda: bool,
     evaluate: bool,
@@ -42,7 +46,7 @@ fn usage() -> ExitCode {
         "usage: eatss <kernel.eatss | benchmark-name> [--arch ga100|xavier] \
          [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
          [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] \
-         [--emit-smt] [--emit-cuda] [--evaluate]"
+         [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate]"
     );
     ExitCode::from(2)
 }
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         sizes: Vec::new(),
         dataset: None,
         sweep: false,
+        deadline: None,
         emit_smt: false,
         emit_cuda: false,
         evaluate: false,
@@ -100,6 +105,12 @@ fn parse_args() -> Result<Options, String> {
                 });
             }
             "--sweep" => opts.sweep = true,
+            "--deadline-ms" => {
+                let ms: u64 = next_value(&mut args, "--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                opts.deadline = Some(Duration::from_millis(ms));
+            }
             "--emit-smt" => opts.emit_smt = true,
             "--emit-cuda" => opts.emit_cuda = true,
             "--evaluate" => opts.evaluate = true,
@@ -145,26 +156,58 @@ fn run() -> Result<(), String> {
     let eatss = Eatss::new(opts.arch.clone());
 
     if opts.sweep {
+        let mut sweep_opts = SweepOptions::default();
+        if let Some(deadline) = opts.deadline {
+            for attempt in &mut sweep_opts.attempts {
+                attempt.deadline = Some(deadline);
+            }
+        }
         let sweep = eatss
-            .sweep(
+            .sweep_with(
                 &program,
                 &sizes,
                 &eatss::sweep::PAPER_SPLITS,
                 &[0.5, 0.25, 0.125],
+                &sweep_opts,
             )
             .map_err(|e| e.to_string())?;
-        println!("{:<8} {:<8} {:<9} {:<18} {:>9} {:>8} {:>9}", "split", "wfrac", "cap", "tiles", "GFLOP/s", "W", "PPW");
+        println!(
+            "{:<8} {:<8} {:<9} {:<12} {:<18} {:>9} {:>8} {:>9}",
+            "split", "wfrac", "cap", "provenance", "tiles", "GFLOP/s", "W", "PPW"
+        );
         for p in &sweep.points {
             println!(
-                "{:<8.2} {:<8.3} {:<9} {:<18} {:>9.1} {:>8.1} {:>9.2}",
+                "{:<8.2} {:<8.3} {:<9} {:<12} {:<18} {:>9.1} {:>8.1} {:>9.2}",
                 p.config.split_factor,
                 p.config.warp_fraction,
                 format!("{:?}", p.config.cap),
+                p.solution.provenance.to_string(),
                 p.solution.tiles.to_string(),
                 p.report.gflops,
                 p.report.avg_power_w,
                 p.report.ppw
             );
+        }
+        if !sweep.infeasible.is_empty() {
+            println!(
+                "\n{} configuration(s) degraded to default tiling:",
+                sweep.infeasible.len()
+            );
+            for (config, reason) in &sweep.infeasible {
+                println!(
+                    "  split={:.2} wfrac={:.3} {:?}: {reason}",
+                    config.split_factor, config.warp_fraction, config.cap
+                );
+            }
+        }
+        if !sweep.failures.is_empty() {
+            println!("\n{} configuration(s) unmeasurable:", sweep.failures.len());
+            for (config, error) in &sweep.failures {
+                println!(
+                    "  split={:.2} wfrac={:.3} {:?}: {error}",
+                    config.split_factor, config.warp_fraction, config.cap
+                );
+            }
         }
         if let Some(best) = sweep.best_by_ppw() {
             println!("\nbest by PPW: {}", best.solution.tiles);
@@ -179,16 +222,31 @@ fn run() -> Result<(), String> {
         println!("{}", model.to_smtlib());
     }
 
-    let solution = eatss
-        .select_tiles(&program, &sizes, &opts.config)
-        .map_err(|e| e.to_string())?;
+    let solution = if let Some(deadline) = opts.deadline {
+        ModelGenerator::new(&opts.arch, opts.config.clone())
+            .with_solver_config(SolverConfig {
+                deadline: Some(deadline),
+                ..SolverConfig::default()
+            })
+            .build(&program, Some(&sizes))
+            .and_then(|m| m.solve())
+            .map_err(|e| e.to_string())?
+    } else {
+        eatss
+            .select_tiles(&program, &sizes, &opts.config)
+            .map_err(|e| e.to_string())?
+    };
     println!("tiles     : {}", solution.tiles);
     println!("objective : {}", solution.objective);
     println!(
-        "solver    : {} calls, {:.4} s{}",
+        "solver    : {} calls, {:.4} s, {}",
         solution.solver_calls,
         solution.solve_time.as_secs_f64(),
-        if solution.optimal { ", optimal" } else { "" }
+        if solution.optimal {
+            "optimal".to_owned()
+        } else {
+            format!("anytime ({})", solution.provenance)
+        }
     );
 
     if opts.emit_cuda {

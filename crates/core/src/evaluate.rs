@@ -2,7 +2,7 @@
 
 use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
-use eatss_gpusim::{Gpu, GpuArch, SimReport};
+use eatss_gpusim::{Gpu, GpuArch, SimFault, SimReport};
 use eatss_ppcg::{CompileError, CompileOptions, Ppcg};
 use std::error::Error;
 use std::fmt;
@@ -12,12 +12,16 @@ use std::fmt;
 pub enum EvaluateError {
     /// The PPCG stand-in rejected the configuration.
     Compile(CompileError),
+    /// A kernel launch failed during measurement (only reachable when
+    /// the device carries an injected fault plan).
+    Simulation(SimFault),
 }
 
 impl fmt::Display for EvaluateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvaluateError::Compile(e) => write!(f, "compilation failed: {e}"),
+            EvaluateError::Simulation(e) => write!(f, "measurement failed: {e}"),
         }
     }
 }
@@ -27,6 +31,12 @@ impl Error for EvaluateError {}
 impl From<CompileError> for EvaluateError {
     fn from(e: CompileError) -> Self {
         EvaluateError::Compile(e)
+    }
+}
+
+impl From<SimFault> for EvaluateError {
+    fn from(e: SimFault) -> Self {
+        EvaluateError::Simulation(e)
     }
 }
 
@@ -69,14 +79,36 @@ pub fn evaluate_program_repeated(
     options: &CompileOptions,
     repeats: i64,
 ) -> Result<SimReport, EvaluateError> {
+    evaluate_program_with(&Gpu::new(arch.clone()), program, tiles, sizes, options, repeats)
+}
+
+/// Like [`evaluate_program_repeated`], but measures on a caller-supplied
+/// device — the entry point that lets a [`Gpu`] carrying an injected
+/// [`FaultPlan`](eatss_gpusim::FaultPlan) flow through the pipeline.
+///
+/// # Errors
+///
+/// [`EvaluateError::Compile`] when compilation fails and
+/// [`EvaluateError::Simulation`] when an injected fault aborts a launch.
+pub fn evaluate_program_with(
+    gpu: &Gpu,
+    program: &Program,
+    tiles: &TileConfig,
+    sizes: &ProblemSizes,
+    options: &CompileOptions,
+    repeats: i64,
+) -> Result<SimReport, EvaluateError> {
+    let arch = gpu.arch();
     let ppcg = Ppcg::new(arch.clone());
     let compiled = ppcg.compile(program, tiles, sizes, options)?;
-    let gpu = Gpu::new(arch.clone());
     let reports: Vec<SimReport> = compiled
         .mappings
         .iter()
-        .map(|m| gpu.simulate(&m.to_exec_spec()).repeated(m.launch_count))
-        .collect();
+        .map(|m| {
+            gpu.try_simulate(&m.to_exec_spec())
+                .map(|r| r.repeated(m.launch_count))
+        })
+        .collect::<Result<_, SimFault>>()?;
     let mut combined = SimReport::sequence(&reports);
     combined.name = program.name.clone();
     // The measurement-level power ramp (§II / Fig. 1): short measurement

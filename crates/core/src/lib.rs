@@ -46,35 +46,53 @@
 
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod evaluate;
 pub mod model;
 pub mod sweep;
 
 pub use cache::{TileCache, TileCacheStats};
 pub use config::{EatssConfig, Precision, ThreadBlockCap};
-pub use evaluate::{evaluate_program, evaluate_program_repeated, EvaluateError};
-pub use model::{Ablation, EatssError, EatssSolution, ModelGenerator};
-pub use sweep::{SweepOutcome, SweepPoint};
+pub use error::{PipelineError, PipelineStage};
+pub use evaluate::{
+    evaluate_program, evaluate_program_repeated, evaluate_program_with, EvaluateError,
+};
+pub use model::{Ablation, EatssError, EatssSolution, ModelGenerator, SolutionProvenance};
+pub use sweep::{SolveAttempt, SweepOptions, SweepOutcome, SweepPoint};
 
 use eatss_affine::{ProblemSizes, Program};
-use eatss_gpusim::{GpuArch, SimReport};
+use eatss_gpusim::{Gpu, GpuArch, SimReport};
 
 /// The EATSS pipeline: model generation → iterative solving → PPCG
 /// compilation → simulated measurement.
 #[derive(Debug, Clone)]
 pub struct Eatss {
-    arch: GpuArch,
+    gpu: Gpu,
 }
 
 impl Eatss {
     /// Creates the scheme for a target architecture.
     pub fn new(arch: GpuArch) -> Self {
-        Eatss { arch }
+        Eatss {
+            gpu: Gpu::new(arch),
+        }
+    }
+
+    /// Creates the scheme around an explicit device — the entry point for
+    /// measuring on a [`Gpu`] that carries an injected
+    /// [`FaultPlan`](eatss_gpusim::FaultPlan).
+    pub fn with_gpu(gpu: Gpu) -> Self {
+        Eatss { gpu }
     }
 
     /// The target architecture.
     pub fn arch(&self) -> &GpuArch {
-        &self.arch
+        self.gpu.arch()
+    }
+
+    /// The measurement device.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
     }
 
     /// Selects tile sizes for `program` under one configuration
@@ -91,7 +109,7 @@ impl Eatss {
         sizes: &ProblemSizes,
         config: &EatssConfig,
     ) -> Result<EatssSolution, EatssError> {
-        ModelGenerator::new(&self.arch, config.clone())
+        ModelGenerator::new(self.arch(), config.clone())
             .build(program, Some(sizes))?
             .solve()
     }
@@ -101,7 +119,8 @@ impl Eatss {
     ///
     /// # Errors
     ///
-    /// Returns [`EvaluateError`] if compilation fails.
+    /// Returns [`EvaluateError`] if compilation fails or an injected
+    /// fault aborts a launch.
     pub fn evaluate(
         &self,
         program: &Program,
@@ -109,23 +128,42 @@ impl Eatss {
         sizes: &ProblemSizes,
         config: &EatssConfig,
     ) -> Result<SimReport, EvaluateError> {
-        evaluate_program(&self.arch, program, tiles, sizes, &config.compile_options(&self.arch))
+        let options = config.compile_options(self.arch());
+        evaluate_program_with(&self.gpu, program, tiles, sizes, &options, 1)
     }
 
     /// Runs the paper's configuration sweep (§V-B generates three
     /// shared-memory levels per benchmark; §V-D adds warp fractions) and
-    /// returns every point plus the PPW-best one.
+    /// returns every point plus the PPW-best one. Unsolvable points
+    /// degrade to PPCG's default `32^d` tiling (see [`SweepOptions`]).
     ///
     /// # Errors
     ///
-    /// Returns [`EatssError`] if *every* configuration is infeasible.
+    /// Returns [`PipelineError`] when no configuration at all could be
+    /// measured, or on systemic solver/formulation failures.
     pub fn sweep(
         &self,
         program: &Program,
         sizes: &ProblemSizes,
         splits: &[f64],
         warp_fractions: &[f64],
-    ) -> Result<SweepOutcome, EatssError> {
+    ) -> Result<SweepOutcome, PipelineError> {
         sweep::run(self, program, sizes, splits, warp_fractions)
+    }
+
+    /// Like [`Eatss::sweep`], but under an explicit degradation policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Eatss::sweep`].
+    pub fn sweep_with(
+        &self,
+        program: &Program,
+        sizes: &ProblemSizes,
+        splits: &[f64],
+        warp_fractions: &[f64],
+        options: &SweepOptions,
+    ) -> Result<SweepOutcome, PipelineError> {
+        sweep::run_with(self, program, sizes, splits, warp_fractions, options)
     }
 }

@@ -6,7 +6,7 @@ use eatss_affine::analysis::AccessAnalysis;
 use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
-use eatss_smt::{IntExpr, SolveError, Solver};
+use eatss_smt::{Domain, IntExpr, SolveError, Solver, SolverConfig, StopReason};
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -15,13 +15,25 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EatssError {
     /// The formulation has no solution (e.g. warp alignment exceeds a
-    /// loop extent — §V-D's "missing configurations").
+    /// loop extent — §V-D's "missing configurations"). This is a *proof*:
+    /// the search was exhaustive.
     Unsatisfiable {
         /// Explanation for diagnostics.
         reason: String,
     },
+    /// A search budget (nodes, deadline, cancellation) ran out before any
+    /// feasible model was found. Unlike [`EatssError::Unsatisfiable`]
+    /// this proves nothing — retrying with a larger budget or a coarser
+    /// domain may still succeed.
+    Exhausted {
+        /// Which budget ran out.
+        reason: String,
+    },
     /// The underlying solver failed.
     Solver(SolveError),
+    /// A satisfiable maximization returned no objective value — an
+    /// internal solver invariant violation, never expected.
+    MissingObjective,
     /// A problem-size parameter was needed but unbound.
     UnboundParameter(String),
     /// The program has no kernels.
@@ -34,7 +46,15 @@ impl fmt::Display for EatssError {
             EatssError::Unsatisfiable { reason } => {
                 write!(f, "formulation is unsatisfiable: {reason}")
             }
+            EatssError::Exhausted { reason } => {
+                write!(f, "search budget exhausted before a model was found: {reason}")
+            }
             EatssError::Solver(e) => write!(f, "solver failure: {e}"),
+            EatssError::MissingObjective => write!(
+                f,
+                "satisfiable maximization returned no objective value \
+                 (solver invariant violated)"
+            ),
             EatssError::UnboundParameter(p) => {
                 write!(f, "problem-size parameter `{p}` is unbound")
             }
@@ -51,13 +71,36 @@ impl From<SolveError> for EatssError {
     }
 }
 
+/// Where a tile selection came from — how much trust to put in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolutionProvenance {
+    /// The solver proved the tiles optimal for the formulation.
+    Solved,
+    /// Anytime result: the tiles are feasible, but a search budget ran
+    /// out before optimality was proved — they may be suboptimal.
+    SolvedIncomplete,
+    /// The solver produced nothing usable; these are PPCG's default
+    /// `32^d` tiles, kept so the point is still measurable.
+    DefaultFallback,
+}
+
+impl fmt::Display for SolutionProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolutionProvenance::Solved => write!(f, "solved"),
+            SolutionProvenance::SolvedIncomplete => write!(f, "incomplete"),
+            SolutionProvenance::DefaultFallback => write!(f, "fallback"),
+        }
+    }
+}
+
 /// A solved tile selection.
 #[derive(Debug, Clone)]
 pub struct EatssSolution {
     /// Selected tile sizes (one per program dimension; serial *time*
     /// dimensions are fixed at 1 — PPCG re-launches those).
     pub tiles: TileConfig,
-    /// Final objective value.
+    /// Final objective value (0 for a default fallback).
     pub objective: i64,
     /// Number of solver calls made by the §IV-L loop.
     pub solver_calls: u32,
@@ -65,6 +108,25 @@ pub struct EatssSolution {
     pub solve_time: Duration,
     /// Whether optimality was proved (final call exhausted the space).
     pub optimal: bool,
+    /// How this selection was obtained.
+    pub provenance: SolutionProvenance,
+}
+
+impl EatssSolution {
+    /// The graceful-degradation selection: PPCG's default `32^d` tiling
+    /// for a `depth`-dimensional program (PPCG clips tiles to loop trip
+    /// counts and handles serial time dimensions itself, so the flat
+    /// default is always compilable).
+    pub fn ppcg_default(depth: usize) -> Self {
+        EatssSolution {
+            tiles: TileConfig::ppcg_default(depth),
+            objective: 0,
+            solver_calls: 0,
+            solve_time: Duration::ZERO,
+            optimal: false,
+            provenance: SolutionProvenance::DefaultFallback,
+        }
+    }
 }
 
 /// Switches that disable individual formulation components — used by the
@@ -91,6 +153,8 @@ pub struct ModelGenerator {
     arch: GpuArch,
     config: EatssConfig,
     ablation: Ablation,
+    solver_config: SolverConfig,
+    coarsen: bool,
 }
 
 /// A built formulation, ready to be maximized.
@@ -115,12 +179,31 @@ impl ModelGenerator {
             arch: arch.clone(),
             config,
             ablation: Ablation::default(),
+            solver_config: SolverConfig::default(),
+            coarsen: false,
         }
     }
 
     /// Disables formulation components for an ablation study.
     pub fn with_ablation(mut self, ablation: Ablation) -> Self {
         self.ablation = ablation;
+        self
+    }
+
+    /// Sets the solver limits (node budget, deadline, cancellation) used
+    /// by the built model.
+    pub fn with_solver_config(mut self, solver_config: SolverConfig) -> Self {
+        self.solver_config = solver_config;
+        self
+    }
+
+    /// Coarsens each tile variable's domain to geometric (doubling)
+    /// multiples of the warp-alignment factor instead of every multiple.
+    /// The space shrinks exponentially, trading tile granularity for a
+    /// search that finishes within tight budgets — the retry ladder's
+    /// last resort before the `32^d` fallback.
+    pub fn with_domain_coarsening(mut self, coarsen: bool) -> Self {
+        self.coarsen = coarsen;
         self
     }
 
@@ -174,14 +257,28 @@ impl ModelGenerator {
         }
 
         // §IV-B: tile variables with warp alignment.
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_config(self.solver_config.clone());
         let mut tile_vars: Vec<Option<IntExpr>> = Vec::with_capacity(depth);
+        let align = if self.ablation.no_warp_alignment { 1 } else { waf };
         for d in 0..depth {
             if is_time[d] {
                 tile_vars.push(None);
                 continue;
             }
-            let t = solver.int_var(&format!("T{d}"), 1, upper[d]);
+            let t = if self.coarsen {
+                // Geometric multiples of the alignment factor only: the
+                // candidate count per variable drops from `upper/align`
+                // to `log2(upper/align)`, keeping hopeless budgets from
+                // thrashing. An empty candidate set (align > upper) stays
+                // an honest unsatisfiability, as with the full domain.
+                let values: Vec<i64> =
+                    std::iter::successors(Some(align), |&v| v.checked_mul(2))
+                        .take_while(|&v| v <= upper[d])
+                        .collect();
+                solver.int_var_in(&format!("T{d}"), Domain::from_values(values))
+            } else {
+                solver.int_var(&format!("T{d}"), 1, upper[d])
+            };
             if !self.ablation.no_warp_alignment {
                 solver.assert(t.modulo(waf).eq_expr(0));
             }
@@ -310,10 +407,15 @@ impl EatssModel {
         let outcome = self.solver.maximize_binary(&self.objective, hi)?;
         let solve_time = started.elapsed();
         let Some(model) = outcome.model else {
-            return Err(EatssError::Unsatisfiable {
-                reason: "no tile assignment satisfies the resource constraints".to_owned(),
-            });
+            return Err(no_model_error(
+                outcome.complete,
+                outcome.stop,
+                "no tile assignment satisfies the resource constraints",
+            ));
         };
+        // A model without an objective value would mean the maximize loop
+        // lost track of what it measured — surface it, never mask it as 0.
+        let objective = outcome.best.ok_or(EatssError::MissingObjective)?;
         let mut sizes = Vec::with_capacity(self.tile_vars.len());
         for v in &self.tile_vars {
             match v {
@@ -323,10 +425,15 @@ impl EatssModel {
         }
         Ok(EatssSolution {
             tiles: TileConfig::new(sizes),
-            objective: outcome.best.unwrap_or(0),
+            objective,
             solver_calls: outcome.solver_calls,
             solve_time,
             optimal: outcome.optimal,
+            provenance: if outcome.optimal {
+                SolutionProvenance::Solved
+            } else {
+                SolutionProvenance::SolvedIncomplete
+            },
         })
     }
 
@@ -341,12 +448,16 @@ impl EatssModel {
         let outcome = self.solver.maximize(&self.objective)?;
         let solve_time = started.elapsed();
         let Some(model) = outcome.model else {
-            return Err(EatssError::Unsatisfiable {
-                reason: "no tile assignment satisfies the resource constraints \
-                         (try a smaller warp-alignment factor)"
-                    .to_owned(),
-            });
+            return Err(no_model_error(
+                outcome.complete,
+                outcome.stop,
+                "no tile assignment satisfies the resource constraints \
+                 (try a smaller warp-alignment factor)",
+            ));
         };
+        // A model without an objective value would mean the maximize loop
+        // lost track of what it measured — surface it, never mask it as 0.
+        let objective = outcome.best.ok_or(EatssError::MissingObjective)?;
         let mut sizes = Vec::with_capacity(self.tile_vars.len());
         for v in &self.tile_vars {
             match v {
@@ -356,11 +467,32 @@ impl EatssModel {
         }
         Ok(EatssSolution {
             tiles: TileConfig::new(sizes),
-            objective: outcome.best.unwrap_or(0),
+            objective,
             solver_calls: outcome.solver_calls,
             solve_time,
             optimal: outcome.optimal,
+            provenance: if outcome.optimal {
+                SolutionProvenance::Solved
+            } else {
+                SolutionProvenance::SolvedIncomplete
+            },
         })
+    }
+}
+
+/// Distinguishes a *proved* empty space from a budget that ran out before
+/// any model was found.
+fn no_model_error(complete: bool, stop: Option<StopReason>, unsat_reason: &str) -> EatssError {
+    if complete {
+        EatssError::Unsatisfiable {
+            reason: unsat_reason.to_owned(),
+        }
+    } else {
+        EatssError::Exhausted {
+            reason: stop
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "budget".to_owned()),
+        }
     }
 }
 
@@ -615,5 +747,63 @@ mod tests {
             "solve took {:?}",
             s.solve_time
         );
+    }
+
+    #[test]
+    fn full_solve_reports_solved_provenance() {
+        let s = ga(EatssConfig::default())
+            .build(&matmul(), None)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!(s.optimal);
+        assert_eq!(s.provenance, SolutionProvenance::Solved);
+    }
+
+    #[test]
+    fn exhausted_budget_is_not_unsatisfiable() {
+        // A zero node budget can never *prove* anything: the error must
+        // say "ran out", not "no solution exists".
+        let err = ga(EatssConfig::default())
+            .with_solver_config(SolverConfig {
+                node_limit: 0,
+                ..SolverConfig::default()
+            })
+            .build(&matmul(), None)
+            .unwrap()
+            .solve()
+            .unwrap_err();
+        assert!(matches!(err, EatssError::Exhausted { .. }), "{err}");
+        assert!(err.to_string().contains("node limit"), "{err}");
+    }
+
+    #[test]
+    fn coarsened_domains_stay_feasible_and_geometric() {
+        let s = ga(EatssConfig::default())
+            .with_domain_coarsening(true)
+            .build(&matmul(), None)
+            .unwrap()
+            .solve()
+            .unwrap();
+        let t = s.tiles.sizes();
+        // Coarse domains hold WAF·2^k values only, and every constraint of
+        // the full formulation still applies.
+        for &x in t {
+            assert!(x % 16 == 0, "{t:?}");
+            assert!((x / 16).count_ones() == 1, "not geometric: {t:?}");
+        }
+        assert!(t[0] * t[1] + t[2] * t[1] <= 12_288, "{t:?}");
+        assert!(t[0] * t[2] <= 6_144, "{t:?}");
+        assert!(s.objective > 0);
+    }
+
+    #[test]
+    fn ppcg_default_solution_shape() {
+        let s = EatssSolution::ppcg_default(3);
+        assert_eq!(s.tiles.sizes(), &[32, 32, 32]);
+        assert_eq!(s.objective, 0);
+        assert!(!s.optimal);
+        assert_eq!(s.provenance, SolutionProvenance::DefaultFallback);
+        assert_eq!(s.provenance.to_string(), "fallback");
     }
 }

@@ -6,13 +6,28 @@
 //! warp fractions {0.125, 0.25, 0.5, 1.0} for high-dimensional kernels.
 //! Infeasible combinations (empty solution spaces) are recorded, matching
 //! the paper's "missing configurations".
+//!
+//! # Robustness
+//!
+//! A sweep is a measurement campaign, and campaigns must not die on one
+//! bad point. Each configuration is solved through a retry ladder
+//! ([`SweepOptions::attempts`]): a cheap budget first, an escalated
+//! budget on exhaustion, then a coarsened (geometric) tile domain. When
+//! every rung fails — or the formulation is *proved* infeasible — the
+//! point degrades to PPCG's default `32^d` tiling so it still yields a
+//! measurement, tagged [`SolutionProvenance::DefaultFallback`]. Points
+//! whose measurement itself fails land in [`SweepOutcome::failures`] with
+//! full stage attribution. The sweep as a whole errors only when *no*
+//! configuration produced a measurable point.
 
 use crate::config::{EatssConfig, ThreadBlockCap};
-use crate::evaluate::EvaluateError;
+use crate::error::PipelineError;
 use crate::model::{EatssError, EatssSolution};
 use crate::Eatss;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::SimReport;
+use eatss_smt::SolverConfig;
+use std::time::Duration;
 
 /// The shared-memory split levels of §V-B (0%, 50%, 67%).
 pub const PAPER_SPLITS: [f64; 3] = [0.0, 0.5, 0.67];
@@ -25,12 +40,62 @@ pub const PAPER_WARP_FRACTIONS: [f64; 4] = [0.125, 0.25, 0.5, 1.0];
 // paper generates a handful of candidate configurations per benchmark
 // and keeps the best measured one.
 
+/// One rung of the per-point retry ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveAttempt {
+    /// Node budget for this attempt.
+    pub node_limit: u64,
+    /// Wall-clock budget for this attempt (the whole maximize loop).
+    pub deadline: Option<Duration>,
+    /// Whether to coarsen tile domains to geometric multiples.
+    pub coarsen: bool,
+}
+
+/// Degradation policy for a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// The retry ladder, tried in order; later rungs run only when the
+    /// earlier ones exhaust their budget ([`EatssError::Exhausted`]).
+    /// A *proved* infeasibility stops the ladder immediately — a larger
+    /// budget cannot revive an empty space, and coarsening only shrinks
+    /// it.
+    pub attempts: Vec<SolveAttempt>,
+    /// Degrade unsolvable points to PPCG's default `32^d` tiling instead
+    /// of dropping them.
+    pub fallback_to_default: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            attempts: vec![
+                // Normal budget: ample for every PolyBench-scale
+                // formulation, bounded so a pathological point cannot
+                // stall the campaign.
+                SolveAttempt {
+                    node_limit: 2_000_000,
+                    deadline: Some(Duration::from_secs(10)),
+                    coarsen: false,
+                },
+                // Escalated: an order of magnitude more of everything.
+                SolveAttempt {
+                    node_limit: 20_000_000,
+                    deadline: Some(Duration::from_secs(60)),
+                    coarsen: true,
+                },
+            ],
+            fallback_to_default: true,
+        }
+    }
+}
+
 /// One solved and measured configuration.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The configuration knobs.
     pub config: EatssConfig,
-    /// The tile selection the solver produced.
+    /// The tile selection the solver produced (see
+    /// [`EatssSolution::provenance`] for how much to trust it).
     pub solution: EatssSolution,
     /// The simulated measurement of those tiles.
     pub report: SimReport,
@@ -39,109 +104,198 @@ pub struct SweepPoint {
 /// All sweep results for one program.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// Feasible, measured points.
+    /// Measured points — solved, anytime, or `32^d` fallbacks (check
+    /// each point's provenance).
     pub points: Vec<SweepPoint>,
-    /// Configurations whose formulation was unsatisfiable (with reason).
+    /// Configurations whose formulation was proved unsatisfiable or
+    /// stayed exhausted through the whole retry ladder (with reason).
+    /// With fallback enabled these configurations *also* appear in
+    /// [`SweepOutcome::points`] under default tiling.
     pub infeasible: Vec<(EatssConfig, String)>,
+    /// Configurations that produced no measurement at all — even the
+    /// fallback failed — with stage-attributed errors.
+    pub failures: Vec<(EatssConfig, PipelineError)>,
 }
 
 impl SweepOutcome {
     /// The point with the highest performance-per-watt (the paper's
-    /// selection criterion).
+    /// selection criterion). Invalid reports and non-finite PPW values
+    /// (e.g. a NaN from a corrupted measurement) are never selected.
     pub fn best_by_ppw(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .filter(|p| p.report.valid)
-            .max_by(|a, b| {
-                a.report
-                    .ppw
-                    .partial_cmp(&b.report.ppw)
-                    .expect("PPW is finite for valid reports")
-            })
+            .filter(|p| p.report.valid && p.report.ppw.is_finite())
+            .max_by(|a, b| a.report.ppw.total_cmp(&b.report.ppw))
     }
 
     /// The point with the highest raw throughput.
     pub fn best_by_perf(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .filter(|p| p.report.valid)
-            .max_by(|a, b| {
-                a.report
-                    .gflops
-                    .partial_cmp(&b.report.gflops)
-                    .expect("GFLOP/s is finite for valid reports")
-            })
+            .filter(|p| p.report.valid && p.report.gflops.is_finite())
+            .max_by(|a, b| a.report.gflops.total_cmp(&b.report.gflops))
     }
 
     /// The point with the lowest energy.
     pub fn best_by_energy(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .filter(|p| p.report.valid)
-            .min_by(|a, b| {
-                a.report
-                    .energy_j
-                    .partial_cmp(&b.report.energy_j)
-                    .expect("energy is finite for valid reports")
-            })
+            .filter(|p| p.report.valid && p.report.energy_j.is_finite())
+            .min_by(|a, b| a.report.energy_j.total_cmp(&b.report.energy_j))
     }
 }
 
-/// Runs the sweep. Fails only if *every* combination is infeasible or a
-/// systemic error (solver/compile) occurs.
+/// Runs the sweep with the default degradation policy.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::NoMeasurablePoint`] only when not a single
+/// configuration — including the `32^d` fallbacks — could be measured.
 pub fn run(
     eatss: &Eatss,
     program: &Program,
     sizes: &ProblemSizes,
     splits: &[f64],
     warp_fractions: &[f64],
-) -> Result<SweepOutcome, EatssError> {
+) -> Result<SweepOutcome, PipelineError> {
+    run_with(
+        eatss,
+        program,
+        sizes,
+        splits,
+        warp_fractions,
+        &SweepOptions::default(),
+    )
+}
+
+/// Solves one configuration through the retry ladder. Retries only on
+/// [`EatssError::Exhausted`]; every other error is definitive.
+fn solve_with_retries(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    config: &EatssConfig,
+    options: &SweepOptions,
+) -> Result<EatssSolution, EatssError> {
+    let mut last = EatssError::Exhausted {
+        reason: "retry ladder is empty".to_owned(),
+    };
+    for attempt in &options.attempts {
+        let result = crate::ModelGenerator::new(eatss.arch(), config.clone())
+            .with_solver_config(SolverConfig {
+                node_limit: attempt.node_limit,
+                deadline: attempt.deadline,
+                ..SolverConfig::default()
+            })
+            .with_domain_coarsening(attempt.coarsen)
+            .build(program, Some(sizes))
+            .and_then(crate::model::EatssModel::solve);
+        match result {
+            Ok(solution) => return Ok(solution),
+            Err(e @ EatssError::Exhausted { .. }) => last = e,
+            Err(definitive) => return Err(definitive),
+        }
+    }
+    Err(last)
+}
+
+/// Runs the sweep under an explicit degradation policy.
+///
+/// # Errors
+///
+/// [`PipelineError::NoMeasurablePoint`] when no configuration yields a
+/// measurement; [`PipelineError`] with stage attribution on systemic
+/// failures (solver errors, unbound parameters — conditions no retry or
+/// fallback can repair).
+pub fn run_with(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    splits: &[f64],
+    warp_fractions: &[f64],
+    options: &SweepOptions,
+) -> Result<SweepOutcome, PipelineError> {
     let mut points = Vec::new();
     let mut infeasible = Vec::new();
+    let mut failures: Vec<(EatssConfig, PipelineError)> = Vec::new();
+    let mut attempted = 0usize;
     for &split in splits {
         for &frac in warp_fractions {
           for cap in [ThreadBlockCap::Virtual, ThreadBlockCap::Strict] {
+            attempted += 1;
             let config = EatssConfig {
                 split_factor: split,
                 warp_fraction: frac,
                 cap,
                 ..EatssConfig::default()
             };
-            match eatss.select_tiles(program, sizes, &config) {
-                Ok(solution) => {
-                    let report = eatss
-                        .evaluate(program, &solution.tiles, sizes, &config)
-                        .map_err(|e: EvaluateError| EatssError::Unsatisfiable {
-                            reason: e.to_string(),
-                        })?;
-                    points.push(SweepPoint {
-                        config,
-                        solution,
-                        report,
-                    });
+            let context = format!(
+                "{} @ split={split} wfrac={frac} cap={cap:?}",
+                program.name
+            );
+            let solved = match solve_with_retries(eatss, program, sizes, &config, options) {
+                Ok(solution) => Some(solution),
+                Err(e @ (EatssError::Unsatisfiable { .. } | EatssError::Exhausted { .. })) => {
+                    infeasible.push((config.clone(), e.to_string()));
+                    None
                 }
-                Err(EatssError::Unsatisfiable { reason }) => {
-                    infeasible.push((config, reason));
+                // Systemic failures (solver bugs, unbound parameters,
+                // empty programs) would repeat at every point — abort.
+                Err(systemic) => return Err(PipelineError::from_eatss(systemic, context)),
+            };
+            // Measure the solved tiles; degrade to the default tiling
+            // when there are none or their measurement fails.
+            let mut measured = None;
+            if let Some(solution) = solved {
+                match eatss.evaluate(program, &solution.tiles, sizes, &config) {
+                    Ok(report) => measured = Some((solution, report)),
+                    Err(e) => {
+                        failures.push((
+                            config.clone(),
+                            PipelineError::from_evaluate(e, context.clone()),
+                        ));
+                    }
                 }
-                Err(other) => return Err(other),
+            }
+            if measured.is_none() && options.fallback_to_default {
+                let fallback = EatssSolution::ppcg_default(program.max_depth());
+                match eatss.evaluate(program, &fallback.tiles, sizes, &config) {
+                    Ok(report) => measured = Some((fallback, report)),
+                    Err(e) => {
+                        failures.push((
+                            config.clone(),
+                            PipelineError::from_evaluate(e, format!("{context} [fallback]")),
+                        ));
+                    }
+                }
+            }
+            if let Some((solution, report)) = measured {
+                points.push(SweepPoint {
+                    config,
+                    solution,
+                    report,
+                });
             }
           }
         }
     }
     if points.is_empty() {
-        return Err(EatssError::Unsatisfiable {
-            reason: format!(
-                "all {} sweep configurations are infeasible",
-                infeasible.len()
-            ),
+        return Err(PipelineError::NoMeasurablePoint {
+            attempted,
+            context: program.name.clone(),
         });
     }
-    Ok(SweepOutcome { points, infeasible })
+    Ok(SweepOutcome {
+        points,
+        infeasible,
+        failures,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::SolutionProvenance;
     use eatss_affine::parser::parse_program;
     use eatss_gpusim::GpuArch;
 
@@ -162,8 +316,14 @@ mod tests {
         let out = eatss
             .sweep(&mm(), &sizes, &PAPER_SPLITS, &[0.5])
             .unwrap();
-        assert_eq!(out.points.len() + out.infeasible.len(), 6);
-        assert!(!out.points.is_empty());
+        // All six configurations are feasible at this size: no fallbacks,
+        // no bookkeeping entries.
+        assert_eq!(out.points.len(), 6);
+        assert!(out.infeasible.is_empty() && out.failures.is_empty());
+        assert!(out
+            .points
+            .iter()
+            .all(|p| p.solution.provenance != SolutionProvenance::DefaultFallback));
         let best = out.best_by_ppw().unwrap();
         assert!(best.report.valid);
         assert!(best.report.ppw > 0.0);
@@ -174,24 +334,123 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_fractions_are_recorded_not_fatal() {
+    fn infeasible_fractions_degrade_to_fallback_points() {
         let eatss = Eatss::new(GpuArch::ga100());
         // Tiny problem: WAF=32 has no aligned tile below the extents.
         let sizes = ProblemSizes::new([("M", 8), ("N", 8), ("P", 8)]);
         let out = eatss
             .sweep(&mm(), &sizes, &[0.5], &[1.0, 0.125])
             .unwrap();
+        // The two infeasible cap variants are recorded AND measurable via
+        // the 32^d fallback, so every configuration yields a point.
         assert_eq!(out.infeasible.len(), 2);
-        assert_eq!(out.points.len(), 2);
-        assert!((out.points[0].config.warp_fraction - 0.125).abs() < 1e-12);
+        assert_eq!(out.points.len(), 4);
+        assert!(out.failures.is_empty());
+        let fallbacks: Vec<_> = out
+            .points
+            .iter()
+            .filter(|p| p.solution.provenance == SolutionProvenance::DefaultFallback)
+            .collect();
+        assert_eq!(fallbacks.len(), 2);
+        for p in &fallbacks {
+            assert!((p.config.warp_fraction - 1.0).abs() < 1e-12);
+            assert_eq!(p.solution.tiles.sizes(), &[32, 32, 32]);
+            assert_eq!(p.solution.objective, 0);
+            assert!(p.report.valid, "fallback points are measurable");
+        }
+        // The genuinely solved points carry full provenance.
+        assert!(out
+            .points
+            .iter()
+            .filter(|p| (p.config.warp_fraction - 0.125).abs() < 1e-12)
+            .all(|p| p.solution.provenance == SolutionProvenance::Solved));
     }
 
     #[test]
-    fn all_infeasible_is_an_error() {
+    fn all_infeasible_still_yields_fallback_measurements() {
         let eatss = Eatss::new(GpuArch::ga100());
         let sizes = ProblemSizes::new([("M", 3), ("N", 3), ("P", 3)]);
-        let err = eatss.sweep(&mm(), &sizes, &[0.5], &[1.0]).unwrap_err();
-        assert!(matches!(err, EatssError::Unsatisfiable { .. }));
+        let out = eatss.sweep(&mm(), &sizes, &[0.5], &[1.0]).unwrap();
+        assert_eq!(out.infeasible.len(), 2);
+        assert_eq!(out.points.len(), 2);
+        assert!(out
+            .points
+            .iter()
+            .all(|p| p.solution.provenance == SolutionProvenance::DefaultFallback));
+        assert!(out.best_by_ppw().is_some());
+    }
+
+    #[test]
+    fn disabling_fallback_restores_hard_failure() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 3), ("N", 3), ("P", 3)]);
+        let opts = SweepOptions {
+            fallback_to_default: false,
+            ..SweepOptions::default()
+        };
+        let err = sweep_with(&eatss, &sizes, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::NoMeasurablePoint { attempted: 2, .. }
+        ));
+    }
+
+    fn sweep_with(
+        eatss: &Eatss,
+        sizes: &ProblemSizes,
+        opts: &SweepOptions,
+    ) -> Result<SweepOutcome, PipelineError> {
+        run_with(eatss, &mm(), sizes, &[0.5], &[1.0], opts)
+    }
+
+    #[test]
+    fn exhausted_budget_retries_then_degrades() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+        // A ladder whose every rung has a zero budget: each point stays
+        // exhausted and must degrade to a measured fallback.
+        let opts = SweepOptions {
+            attempts: vec![SolveAttempt {
+                node_limit: 0,
+                deadline: None,
+                coarsen: false,
+            }],
+            fallback_to_default: true,
+        };
+        let out = sweep_with(&eatss, &sizes, &opts).unwrap();
+        assert_eq!(out.points.len(), 2);
+        assert!(out
+            .points
+            .iter()
+            .all(|p| p.solution.provenance == SolutionProvenance::DefaultFallback));
+        assert_eq!(out.infeasible.len(), 2);
+        assert!(out.infeasible[0].1.contains("budget exhausted"));
+        // With an escalated second rung the same points solve fully.
+        let out = sweep_with(
+            &eatss,
+            &sizes,
+            &SweepOptions {
+                attempts: vec![
+                    SolveAttempt {
+                        node_limit: 0,
+                        deadline: None,
+                        coarsen: false,
+                    },
+                    SolveAttempt {
+                        node_limit: 2_000_000,
+                        deadline: None,
+                        coarsen: false,
+                    },
+                ],
+                fallback_to_default: true,
+            },
+        )
+        .unwrap();
+        assert!(out
+            .points
+            .iter()
+            .all(|p| p.solution.provenance == SolutionProvenance::Solved));
+        assert!(out.infeasible.is_empty());
     }
 
     #[test]
@@ -205,5 +464,42 @@ mod tests {
         for p in &out.points {
             assert!(e.report.energy_j <= p.report.energy_j);
         }
+    }
+
+    #[test]
+    fn nan_reports_are_never_selected_as_best() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+        let mut out = eatss.sweep(&mm(), &sizes, &[0.5], &[0.5]).unwrap();
+        // Regression: a valid-looking report with NaN metrics used to
+        // panic the `partial_cmp(..).expect(..)` selectors.
+        let mut poisoned = out.points[0].clone();
+        poisoned.report.ppw = f64::NAN;
+        poisoned.report.gflops = f64::NAN;
+        poisoned.report.energy_j = f64::NAN;
+        out.points.push(poisoned);
+        let best = out.best_by_ppw().expect("finite points remain selectable");
+        assert!(best.report.ppw.is_finite());
+        assert!(out.best_by_perf().unwrap().report.gflops.is_finite());
+        assert!(out.best_by_energy().unwrap().report.energy_j.is_finite());
+        // All-NaN outcomes select nothing rather than panicking.
+        let all_nan = SweepOutcome {
+            points: out
+                .points
+                .iter()
+                .map(|p| {
+                    let mut p = p.clone();
+                    p.report.ppw = f64::NAN;
+                    p.report.gflops = f64::NAN;
+                    p.report.energy_j = f64::NAN;
+                    p
+                })
+                .collect(),
+            infeasible: vec![],
+            failures: vec![],
+        };
+        assert!(all_nan.best_by_ppw().is_none());
+        assert!(all_nan.best_by_perf().is_none());
+        assert!(all_nan.best_by_energy().is_none());
     }
 }

@@ -58,6 +58,7 @@
 
 pub mod arch;
 pub mod cache;
+pub mod fault;
 pub mod metrics;
 pub mod noise;
 pub mod occupancy;
@@ -70,6 +71,7 @@ pub mod validation;
 
 pub use arch::{GpuArch, PowerCoefficients};
 pub use cache::{AccessOutcome, CacheSim, CacheStats};
+pub use fault::{FaultKind, FaultPlan, SimFault};
 pub use metrics::SimReport;
 pub use occupancy::{occupancy, Occupancy};
 pub use spec::{KernelExecSpec, RefAccess};
@@ -80,12 +82,30 @@ pub use traffic::{RefTrafficReport, TrafficReport};
 #[derive(Debug, Clone)]
 pub struct Gpu {
     arch: GpuArch,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Gpu {
     /// Creates a device for the given architecture.
     pub fn new(arch: GpuArch) -> Self {
-        Gpu { arch }
+        Gpu {
+            arch,
+            fault_plan: None,
+        }
+    }
+
+    /// Creates a device whose launches are subject to an injected
+    /// [`FaultPlan`] (robustness testing).
+    pub fn with_faults(arch: GpuArch, plan: FaultPlan) -> Self {
+        Gpu {
+            arch,
+            fault_plan: Some(plan),
+        }
+    }
+
+    /// Installs or clears the fault plan on an existing device.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
     }
 
     /// The device's architecture description.
@@ -93,8 +113,45 @@ impl Gpu {
         &self.arch
     }
 
-    /// Simulates one kernel launch.
+    /// Simulates one kernel launch, surfacing injected launch failures
+    /// as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFault`] when the active [`FaultPlan`] injects a
+    /// [`FaultKind::LaunchFailure`] for this launch. The other fault
+    /// kinds corrupt the report instead of failing the call.
+    pub fn try_simulate(&self, spec: &KernelExecSpec) -> Result<SimReport, SimFault> {
+        let injected = self
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.fault_for(spec));
+        match injected {
+            Some(FaultKind::LaunchFailure) => {
+                return Err(SimFault {
+                    kernel: spec.name.clone(),
+                    kind: FaultKind::LaunchFailure,
+                })
+            }
+            Some(FaultKind::InvalidReport) => return Ok(SimReport::invalid(&spec.name)),
+            Some(FaultKind::NanReport) => {
+                let mut report = self.simulate_clean(spec);
+                FaultPlan::poison_rates(&mut report);
+                return Ok(report);
+            }
+            None => {}
+        }
+        Ok(self.simulate_clean(spec))
+    }
+
+    /// Simulates one kernel launch. Injected launch failures degrade to
+    /// an invalid report; use [`Gpu::try_simulate`] to observe them.
     pub fn simulate(&self, spec: &KernelExecSpec) -> SimReport {
+        self.try_simulate(spec)
+            .unwrap_or_else(|fault| SimReport::invalid(&fault.kernel))
+    }
+
+    fn simulate_clean(&self, spec: &KernelExecSpec) -> SimReport {
         let occ = occupancy::occupancy(&self.arch, spec);
         let traffic = traffic::model(&self.arch, spec, &occ);
         let timing = timing::model(&self.arch, spec, &occ, &traffic);
@@ -107,6 +164,20 @@ impl Gpu {
     pub fn simulate_program(&self, specs: &[KernelExecSpec]) -> SimReport {
         let reports: Vec<SimReport> = specs.iter().map(|s| self.simulate(s)).collect();
         SimReport::sequence(&reports)
+    }
+
+    /// [`Gpu::simulate_program`], surfacing the first injected launch
+    /// failure as an error.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gpu::try_simulate`].
+    pub fn try_simulate_program(&self, specs: &[KernelExecSpec]) -> Result<SimReport, SimFault> {
+        let reports: Vec<SimReport> = specs
+            .iter()
+            .map(|s| self.try_simulate(s))
+            .collect::<Result<_, _>>()?;
+        Ok(SimReport::sequence(&reports))
     }
 }
 
@@ -214,5 +285,53 @@ mod tests {
         let b = gpu.simulate(&gemm_like_spec(48));
         assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
         assert_eq!(a.avg_power_w.to_bits(), b.avg_power_w.to_bits());
+    }
+
+    #[test]
+    fn injected_launch_failure_errors_and_degrades() {
+        let plan = FaultPlan::new(3).force("gemm32", FaultKind::LaunchFailure);
+        let gpu = Gpu::with_faults(GpuArch::ga100(), plan);
+        let spec = gemm_like_spec(32);
+        let err = gpu.try_simulate(&spec).unwrap_err();
+        assert_eq!(err.kind, FaultKind::LaunchFailure);
+        assert_eq!(err.kernel, "gemm32");
+        // The infallible entry point degrades to an invalid report.
+        let r = gpu.simulate(&spec);
+        assert!(!r.valid && r.time_s.is_infinite());
+        // Unrelated launches are untouched.
+        assert!(gpu.try_simulate(&gemm_like_spec(64)).unwrap().valid);
+    }
+
+    #[test]
+    fn injected_nan_report_stays_valid_but_poisoned() {
+        let plan = FaultPlan::new(3).force("gemm32", FaultKind::NanReport);
+        let gpu = Gpu::with_faults(GpuArch::ga100(), plan);
+        let r = gpu.try_simulate(&gemm_like_spec(32)).unwrap();
+        assert!(r.valid, "a NaN report masquerades as a valid measurement");
+        assert!(r.ppw.is_nan() && r.gflops.is_nan() && r.energy_j.is_nan());
+        assert!(r.time_s.is_finite());
+    }
+
+    #[test]
+    fn injected_invalid_report_and_program_propagation() {
+        let plan = FaultPlan::new(3).force("gemm32", FaultKind::InvalidReport);
+        let gpu = Gpu::with_faults(GpuArch::ga100(), plan);
+        let r = gpu.try_simulate(&gemm_like_spec(32)).unwrap();
+        assert!(!r.valid);
+        // One invalid launch poisons the whole program sequence.
+        let seq = gpu.simulate_program(&[gemm_like_spec(64), gemm_like_spec(32)]);
+        assert!(!seq.valid);
+        // try_simulate_program surfaces launch failures as errors.
+        let mut gpu2 = gpu.clone();
+        gpu2.set_fault_plan(Some(
+            FaultPlan::new(3).force("gemm64", FaultKind::LaunchFailure),
+        ));
+        let err = gpu2
+            .try_simulate_program(&[gemm_like_spec(32), gemm_like_spec(64)])
+            .unwrap_err();
+        assert_eq!(err.kernel, "gemm64");
+        // Clearing the plan restores clean simulation.
+        gpu2.set_fault_plan(None);
+        assert!(gpu2.simulate(&gemm_like_spec(64)).valid);
     }
 }

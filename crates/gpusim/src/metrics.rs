@@ -76,7 +76,15 @@ impl SimReport {
     /// Energy is recomputed from the ramped power. Call once, at the
     /// program level (back-to-back launches keep the clocks boosted).
     pub fn apply_power_ramp(&mut self, idle_w: f64, tau_s: f64) {
-        if !self.valid || !self.time_s.is_finite() || self.time_s <= 0.0 || tau_s <= 0.0 {
+        // A non-finite power level cannot be ramped: `(NaN - idle).max(0.0)`
+        // would silently replace a corrupted measurement with idle power.
+        // Leave the report untouched so the corruption stays visible.
+        if !self.valid
+            || !self.time_s.is_finite()
+            || self.time_s <= 0.0
+            || tau_s <= 0.0
+            || !self.avg_power_w.is_finite()
+        {
             return;
         }
         let t = self.time_s;

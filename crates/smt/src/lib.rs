@@ -58,5 +58,7 @@ pub use expr::{BoolExpr, CmpOp, IntExpr, VarId};
 pub use interval::Interval;
 pub use model::Model;
 pub use smtlib::to_smtlib;
-pub use solver::{MaximizeOutcome, SolveError, SolveResult, Solver, SolverConfig};
+pub use solver::{
+    CancelToken, MaximizeOutcome, SolveError, SolveResult, Solver, SolverConfig, StopReason,
+};
 pub use stats::SolverStats;

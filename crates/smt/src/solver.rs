@@ -8,7 +8,9 @@ use crate::model::Model;
 use crate::stats::SolverStats;
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Errors reported by the solver and by model evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,12 +37,68 @@ impl fmt::Display for SolveError {
 
 impl Error for SolveError {}
 
+/// Why a search stopped before exhausting the space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The per-call node budget was exhausted.
+    NodeLimit,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was triggered from outside.
+    Cancelled,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::NodeLimit => write!(f, "node limit"),
+            StopReason::Deadline => write!(f, "deadline"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A shareable flag that aborts an in-flight search cooperatively.
+///
+/// Clone the token, hand one copy to [`SolverConfig::cancel`], and call
+/// [`CancelToken::cancel`] from another thread (or a signal handler) to
+/// stop the search at the next budget checkpoint. The solver reports the
+/// interruption as `complete = false` with [`StopReason::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of every search holding this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Tunable limits for the search.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Maximum search-tree nodes per `check` call before giving up
     /// (`complete = false` in the result).
     pub node_limit: u64,
+    /// Wall-clock budget. For a plain [`Solver::check`] it bounds that
+    /// call; for [`Solver::maximize`] / [`Solver::minimize`] /
+    /// [`Solver::maximize_binary`] it bounds the *whole* optimization
+    /// loop, which then returns its best-so-far model with
+    /// `complete = false` (anytime solving).
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation flag, checked at the same cadence as the
+    /// deadline.
+    pub cancel: Option<CancelToken>,
     /// Maximum propagation fixpoint rounds per node.
     pub max_propagation_rounds: u32,
     /// Try larger values first (helps the maximization loop converge in
@@ -48,10 +106,29 @@ pub struct SolverConfig {
     pub descending_values: bool,
 }
 
+impl PartialEq for SolverConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let token_eq = match (&self.cancel, &other.cancel) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(&a.0, &b.0),
+            _ => false,
+        };
+        self.node_limit == other.node_limit
+            && self.deadline == other.deadline
+            && token_eq
+            && self.max_propagation_rounds == other.max_propagation_rounds
+            && self.descending_values == other.descending_values
+    }
+}
+
+impl Eq for SolverConfig {}
+
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             node_limit: 2_000_000,
+            deadline: None,
+            cancel: None,
             max_propagation_rounds: 16,
             descending_values: true,
         }
@@ -64,8 +141,11 @@ pub struct SolveResult {
     /// A satisfying assignment, if one was found.
     pub model: Option<Model>,
     /// `true` if the search was exhaustive: a `None` model then proves
-    /// unsatisfiability. `false` means the node limit was hit.
+    /// unsatisfiability. `false` means a budget was exhausted (see
+    /// [`SolveResult::stop`]).
     pub complete: bool,
+    /// Why the search stopped early, when `complete` is `false`.
+    pub stop: Option<StopReason>,
 }
 
 /// Result of a [`Solver::maximize`] call.
@@ -79,6 +159,12 @@ pub struct MaximizeOutcome {
     pub solver_calls: u32,
     /// Whether optimality was proved (final `check` was exhaustive-unsat).
     pub optimal: bool,
+    /// `true` if no budget interrupted the loop. `false` means the
+    /// outcome is *anytime*: the model (if any) is feasible but possibly
+    /// suboptimal, and a `None` model does not prove unsatisfiability.
+    pub complete: bool,
+    /// Why the loop stopped early, when `complete` is `false`.
+    pub stop: Option<StopReason>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +264,16 @@ impl Solver {
         &self.stats
     }
 
+    /// The active limits.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Replaces the limits for subsequent calls.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
     /// Resets the accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
@@ -229,24 +325,57 @@ impl Solver {
     /// Returns [`SolveError::UnknownVariable`] if a constraint references a
     /// variable from another solver.
     pub fn check(&mut self) -> Result<SolveResult, SolveError> {
+        let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
+        self.check_until(deadline_at)
+    }
+
+    /// [`Solver::check`] against an absolute deadline instant. The
+    /// optimization loops compute their instant once at entry so the
+    /// budget is global across all their `check` calls.
+    fn check_until(&mut self, deadline_at: Option<Instant>) -> Result<SolveResult, SolveError> {
         self.validate()?;
         let started = Instant::now();
         self.stats.checks += 1;
+        if let Some(reason) = budget_stop(deadline_at, self.config.cancel.as_ref()) {
+            self.record_stop(reason);
+            self.stats.solve_time += started.elapsed();
+            return Ok(SolveResult {
+                model: None,
+                complete: false,
+                stop: Some(reason),
+            });
+        }
         let mut search = Search {
             names: &self.names,
             constraints: &self.constraints,
             config: &self.config,
             stats: &mut self.stats,
             nodes_at_entry: 0,
-            limit_hit: false,
+            deadline_at,
+            stop: None,
         };
         search.nodes_at_entry = search.stats.nodes;
         let domains = self.base_domains.clone();
         let found = search.dfs(domains);
-        let complete = !search.limit_hit;
+        let stop = search.stop;
+        if let Some(reason) = stop {
+            self.record_stop(reason);
+        }
         let model = found.map(|values| Model::new(values, self.names.clone()));
         self.stats.solve_time += started.elapsed();
-        Ok(SolveResult { model, complete })
+        Ok(SolveResult {
+            model,
+            complete: stop.is_none(),
+            stop,
+        })
+    }
+
+    fn record_stop(&mut self, reason: StopReason) {
+        match reason {
+            StopReason::NodeLimit => self.stats.node_limit_hits += 1,
+            StopReason::Deadline => self.stats.deadline_hits += 1,
+            StopReason::Cancelled => self.stats.cancellations += 1,
+        }
     }
 
     /// Maximizes `objective` with the paper's §IV-L loop: find a first
@@ -258,12 +387,17 @@ impl Solver {
     /// Propagates [`Solver::check`] errors, plus evaluation errors when
     /// computing the objective value of an intermediate model.
     pub fn maximize(&mut self, objective: &IntExpr) -> Result<MaximizeOutcome, SolveError> {
+        // The wall-clock budget covers the whole improvement loop, not
+        // each `check`: anytime solving returns the best model found so
+        // far when the budget runs out mid-climb.
+        let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
         self.push();
         let mut best: Option<(i64, Model)> = None;
         let mut calls = 0u32;
         let optimal;
+        let stop;
         loop {
-            let result = match self.check() {
+            let result = match self.check_until(deadline_at) {
                 Ok(r) => r,
                 Err(e) => {
                     self.pop()?;
@@ -281,10 +415,19 @@ impl Solver {
                         }
                     };
                     best = Some((value, model));
+                    if let Some(reason) =
+                        budget_stop(deadline_at, self.config.cancel.as_ref())
+                    {
+                        self.record_stop(reason);
+                        stop = Some(reason);
+                        optimal = false;
+                        break;
+                    }
                     self.assert(objective.gt(value));
                 }
                 None => {
                     optimal = result.complete;
+                    stop = result.stop;
                     break;
                 }
             }
@@ -299,6 +442,8 @@ impl Solver {
             best: best_value,
             solver_calls: calls,
             optimal,
+            complete: stop.is_none(),
+            stop,
         })
     }
 
@@ -320,10 +465,11 @@ impl Solver {
         objective: &IntExpr,
         hi: i64,
     ) -> Result<MaximizeOutcome, SolveError> {
+        let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
         self.push();
         let mut calls = 0u32;
         // First find any model to anchor the lower bound.
-        let first = match self.check() {
+        let first = match self.check_until(deadline_at) {
             Ok(r) => r,
             Err(e) => {
                 self.pop()?;
@@ -338,6 +484,8 @@ impl Solver {
                 best: None,
                 solver_calls: calls,
                 optimal: first.complete,
+                complete: first.stop.is_none(),
+                stop: first.stop,
             });
         };
         let mut best_value = match first_model.eval(objective) {
@@ -348,15 +496,20 @@ impl Solver {
             }
         };
         let mut best_model = first_model;
-        let mut complete = true;
+        let mut stop: Option<StopReason> = None;
         let mut lo = best_value; // known achievable
         let mut hi = hi.max(lo);
         while lo < hi {
+            if let Some(reason) = budget_stop(deadline_at, self.config.cancel.as_ref()) {
+                self.record_stop(reason);
+                stop = Some(reason);
+                break;
+            }
             // Probe the upper half: is there a model with value > mid?
             let mid = lo + (hi - lo) / 2;
             self.push();
             self.assert(objective.gt(mid));
-            let result = match self.check() {
+            let result = match self.check_until(deadline_at) {
                 Ok(r) => r,
                 Err(e) => {
                     self.pop()?;
@@ -365,7 +518,6 @@ impl Solver {
                 }
             };
             calls += 1;
-            complete &= result.complete || result.model.is_some();
             match result.model {
                 Some(model) => {
                     let value = match model.eval(objective) {
@@ -381,6 +533,9 @@ impl Solver {
                     lo = best_value;
                 }
                 None => {
+                    // The half is treated as empty either way; an
+                    // interrupted probe just forfeits the optimality proof.
+                    stop = stop.or(result.stop);
                     hi = mid;
                 }
             }
@@ -391,7 +546,9 @@ impl Solver {
             model: Some(best_model),
             best: Some(best_value),
             solver_calls: calls,
-            optimal: complete,
+            optimal: stop.is_none(),
+            complete: stop.is_none(),
+            stop,
         })
     }
 
@@ -439,18 +596,55 @@ impl Solver {
     }
 }
 
+/// Polls the external budgets (cancellation wins over deadline).
+fn budget_stop(deadline_at: Option<Instant>, cancel: Option<&CancelToken>) -> Option<StopReason> {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return Some(StopReason::Cancelled);
+    }
+    if deadline_at.is_some_and(|at| Instant::now() >= at) {
+        return Some(StopReason::Deadline);
+    }
+    None
+}
+
+/// Poll the clock/cancel flag every this many search nodes — often enough
+/// that a 10 ms deadline is honoured promptly, rare enough that
+/// `Instant::now` stays off the hot path.
+const BUDGET_POLL_PERIOD: u64 = 64;
+
 struct Search<'a> {
     names: &'a [String],
     constraints: &'a [(BoolExpr, Vec<VarId>)],
     config: &'a SolverConfig,
     stats: &'a mut SolverStats,
     nodes_at_entry: u64,
-    limit_hit: bool,
+    deadline_at: Option<Instant>,
+    stop: Option<StopReason>,
 }
 
 impl Search<'_> {
     fn nodes_used(&self) -> u64 {
         self.stats.nodes - self.nodes_at_entry
+    }
+
+    /// Checks all budgets; sets [`Search::stop`] and returns `true` if
+    /// any is exhausted. Node limit is exact; clock and cancellation are
+    /// polled every [`BUDGET_POLL_PERIOD`] nodes.
+    fn out_of_budget(&mut self) -> bool {
+        if self.stop.is_some() {
+            return true;
+        }
+        if self.nodes_used() >= self.config.node_limit {
+            self.stop = Some(StopReason::NodeLimit);
+            return true;
+        }
+        if self.nodes_used().is_multiple_of(BUDGET_POLL_PERIOD) {
+            if let Some(reason) = budget_stop(self.deadline_at, self.config.cancel.as_ref()) {
+                self.stop = Some(reason);
+                return true;
+            }
+        }
+        false
     }
 
     /// Returns a satisfying assignment extending `domains`, or `None`.
@@ -485,8 +679,7 @@ impl Search<'_> {
             domains[var_idx].iter().collect()
         };
         for value in candidates {
-            if self.nodes_used() >= self.config.node_limit {
-                self.limit_hit = true;
+            if self.out_of_budget() {
                 return None;
             }
             self.stats.nodes += 1;
@@ -496,7 +689,7 @@ impl Search<'_> {
                 return Some(values);
             }
             self.stats.backtracks += 1;
-            if self.limit_hit {
+            if self.stop.is_some() {
                 return None;
             }
         }
@@ -838,6 +1031,154 @@ mod tests {
         let r = s.check().unwrap();
         assert!(r.model.is_none());
         assert!(!r.complete, "limit must be reported as incomplete");
+        assert_eq!(r.stop, Some(StopReason::NodeLimit));
+        assert_eq!(s.stats().node_limit_hits, 1);
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_stop() {
+        let mut s = Solver::with_config(SolverConfig {
+            deadline: Some(Duration::ZERO),
+            ..SolverConfig::default()
+        });
+        let x = s.int_var("x", 1, 10);
+        s.assert(x.ge(1));
+        let r = s.check().unwrap();
+        assert!(!r.complete);
+        assert_eq!(r.stop, Some(StopReason::Deadline));
+        assert_eq!(s.stats().deadline_hits, 1);
+        // An expired budget proves nothing: the problem is satisfiable.
+        s.set_config(SolverConfig::default());
+        assert!(s.check().unwrap().model.is_some());
+    }
+
+    #[test]
+    fn cancelled_token_stops_check() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut s = Solver::with_config(SolverConfig {
+            cancel: Some(token),
+            ..SolverConfig::default()
+        });
+        let x = s.int_var("x", 1, 10);
+        s.assert(x.ge(1));
+        let r = s.check().unwrap();
+        assert!(r.model.is_none());
+        assert!(!r.complete);
+        assert_eq!(r.stop, Some(StopReason::Cancelled));
+        assert_eq!(s.stats().cancellations, 1);
+    }
+
+    /// Builds the §IV-A matmul formulation with a configurable
+    /// warp-alignment factor (smaller factor → larger search space).
+    fn matmul_formulation(config: SolverConfig, waf: i64) -> (Solver, IntExpr) {
+        let mut s = Solver::with_config(config);
+        let cap = 12_288;
+        let ti = s.int_var("Ti", 1, 1024);
+        let tj = s.int_var("Tj", 1, 1024);
+        let tk = s.int_var("Tk", 1, 1024);
+        for t in [&ti, &tj, &tk] {
+            s.assert(t.modulo(waf).eq_expr(0));
+        }
+        let bsize = ti.clone() * tj.clone();
+        s.assert((bsize.clone() * IntExpr::constant(3) * IntExpr::constant(2)).le(65_536));
+        s.assert((ti.clone() * tj.clone() + tk.clone() * tj.clone()).le(cap));
+        s.assert((ti * tk).le(cap));
+        let obj = bsize + IntExpr::constant(2 * 16) * tj;
+        (s, obj)
+    }
+
+    #[test]
+    fn maximize_under_deadline_is_anytime_on_matmul() {
+        // A 10 ms budget cannot prove optimality over the waf=2 space
+        // (512 candidate values per tile variable), but the first models
+        // arrive well within it — so `maximize` must return a feasible,
+        // possibly suboptimal model and flag the outcome incomplete.
+        let (mut s, obj) = matmul_formulation(
+            SolverConfig {
+                deadline: Some(Duration::from_millis(10)),
+                ..SolverConfig::default()
+            },
+            2,
+        );
+        let out = s.maximize(&obj).unwrap();
+        assert!(!out.complete, "10ms cannot prove optimality here");
+        assert!(!out.optimal);
+        assert_eq!(out.stop, Some(StopReason::Deadline));
+        let m = out.model.expect("anytime: best-so-far model returned");
+        // The returned model must satisfy the full formulation.
+        let (i, j, k) = (
+            m.value_of_name("Ti").unwrap(),
+            m.value_of_name("Tj").unwrap(),
+            m.value_of_name("Tk").unwrap(),
+        );
+        assert!(i % 2 == 0 && j % 2 == 0 && k % 2 == 0);
+        assert!(i * j * 6 <= 65_536);
+        assert!(i * j + k * j <= 12_288 && i * k <= 12_288);
+        assert_eq!(out.best.unwrap(), i * j + 32 * j);
+        assert!(s.stats().deadline_hits >= 1);
+        // Scope hygiene: the formulation itself is still satisfiable
+        // once the budget is lifted.
+        s.set_config(SolverConfig::default());
+        assert!(s.check().unwrap().model.is_some());
+    }
+
+    #[test]
+    fn maximize_with_cancelled_token_reports_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let (mut s, obj) = matmul_formulation(
+            SolverConfig {
+                cancel: Some(token),
+                ..SolverConfig::default()
+            },
+            16,
+        );
+        let out = s.maximize(&obj).unwrap();
+        assert!(out.model.is_none(), "cancelled before any model was found");
+        assert!(!out.complete);
+        assert_eq!(out.stop, Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn maximize_binary_honours_deadline() {
+        // waf=1 (full 1024^3 space) and a sub-millisecond budget: the
+        // binary probes cannot all finish, in debug or release builds.
+        let (mut s, obj) = matmul_formulation(
+            SolverConfig {
+                deadline: Some(Duration::from_micros(500)),
+                ..SolverConfig::default()
+            },
+            1,
+        );
+        let hull = s.hull_bounds(&obj);
+        let out = s.maximize_binary(&obj, hull.hi()).unwrap();
+        assert!(!out.complete);
+        assert_eq!(out.stop, Some(StopReason::Deadline));
+        // Scopes fully popped even on the interrupted path.
+        assert!(matches!(s.pop(), Err(SolveError::PopWithoutPush)));
+    }
+
+    #[test]
+    fn config_equality_ignores_distinct_but_both_none_tokens() {
+        let a = SolverConfig::default();
+        let b = SolverConfig::default();
+        assert_eq!(a, b);
+        let t = CancelToken::new();
+        let c = SolverConfig {
+            cancel: Some(t.clone()),
+            ..SolverConfig::default()
+        };
+        let d = SolverConfig {
+            cancel: Some(t),
+            ..SolverConfig::default()
+        };
+        assert_eq!(c, d);
+        let e = SolverConfig {
+            cancel: Some(CancelToken::new()),
+            ..SolverConfig::default()
+        };
+        assert_ne!(c, e, "distinct tokens are distinct configs");
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct SolverStats {
     pub values_pruned: u64,
     /// Backtracks taken (assignments that led to a dead end).
     pub backtracks: u64,
+    /// Searches stopped by the per-call node budget.
+    pub node_limit_hits: u64,
+    /// Searches stopped by the wall-clock deadline.
+    pub deadline_hits: u64,
+    /// Searches stopped by a [`CancelToken`](crate::CancelToken).
+    pub cancellations: u64,
     /// Wall-clock time spent inside `check`.
     pub solve_time: Duration,
 }
@@ -45,12 +51,16 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "checks={} nodes={} propagations={} pruned={} backtracks={} time={:?}",
+            "checks={} nodes={} propagations={} pruned={} backtracks={} \
+             node_limit_hits={} deadline_hits={} cancellations={} time={:?}",
             self.checks,
             self.nodes,
             self.propagations,
             self.values_pruned,
             self.backtracks,
+            self.node_limit_hits,
+            self.deadline_hits,
+            self.cancellations,
             self.solve_time
         )
     }
@@ -84,6 +94,9 @@ mod tests {
             propagations: 3,
             values_pruned: 4,
             backtracks: 5,
+            node_limit_hits: 6,
+            deadline_hits: 7,
+            cancellations: 8,
             solve_time: Duration::from_secs(1),
         };
         s.reset();

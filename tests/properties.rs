@@ -5,7 +5,7 @@ use eatss_affine::tiling::{TileConfig, TiledNest};
 use eatss_affine::ProblemSizes;
 use eatss_gpusim::{occupancy, traffic, CacheSim, GpuArch, KernelExecSpec, RefAccess};
 use eatss_ppcg::{CompileOptions, GpuMapping};
-use eatss_smt::Solver;
+use eatss_smt::{Solver, SolverConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -71,6 +71,60 @@ proptest! {
                     prop_assert!(!(cx * cy <= cap && cx % modulus == 0));
                 }
             }
+        }
+    }
+
+    /// Anytime soundness: under an arbitrary (often binding) node budget,
+    /// any model `maximize` returns satisfies every asserted constraint,
+    /// budget exhaustion is always reported (`complete == false` with a
+    /// stop reason), and a *completed* search is still a true optimum.
+    #[test]
+    fn anytime_maximize_is_sound_under_tiny_budgets(
+        node_limit in 1u64..300,
+        hi_x in 8i64..48, hi_y in 8i64..48,
+        cap in 30i64..600,
+    ) {
+        let mut s = Solver::with_config(SolverConfig {
+            node_limit,
+            ..SolverConfig::default()
+        });
+        let x = s.int_var("x", 1, hi_x);
+        let y = s.int_var("y", 1, hi_y);
+        s.assert((x.clone() * y.clone()).le(cap));
+        s.assert(x.modulo(2).eq_expr(0));
+        let obj = x.clone() * y.clone() + y.clone();
+        let out = s.maximize(&obj).expect("no solver error");
+        // A budget stop and `complete` are two views of the same fact.
+        prop_assert_eq!(out.complete, out.stop.is_none());
+        if !out.complete {
+            prop_assert!(!out.optimal, "interrupted searches never claim optimality");
+        }
+        // Feasibility of whatever came back, complete or not.
+        if let Some(model) = &out.model {
+            let xv = model.value_of_name("x").expect("x bound");
+            let yv = model.value_of_name("y").expect("y bound");
+            prop_assert!((1..=hi_x).contains(&xv) && (1..=hi_y).contains(&yv));
+            prop_assert!(xv * yv <= cap);
+            prop_assert_eq!(xv % 2, 0);
+            prop_assert_eq!(out.best.expect("model implies value"), xv * yv + yv);
+        }
+        // x=2, y=1 is always feasible here, so a one-node budget cannot
+        // finish assigning two free variables: the budget must bind.
+        if node_limit == 1 {
+            prop_assert!(!out.complete);
+            prop_assert!(out.stop.is_some());
+        }
+        // A completed search is exact: cross-check exhaustively.
+        if out.complete {
+            let mut best = None;
+            for cx in 1..=hi_x {
+                for cy in 1..=hi_y {
+                    if cx * cy <= cap && cx % 2 == 0 {
+                        best = best.max(Some(cx * cy + cy));
+                    }
+                }
+            }
+            prop_assert_eq!(out.best, best);
         }
     }
 
