@@ -1,0 +1,200 @@
+//! Engine-comparison benchmark: the trail/worklist/branch-and-bound
+//! solver core against the retained naive reference engine
+//! ([`eatss_smt::reference`]) on full PolyBench formulations, emitting
+//! `BENCH_solver.json` with per-kernel wall-clock and node counts plus
+//! aggregate ratios.
+//!
+//! Both engines maximize the *same* §IV formulation (built twice from the
+//! same generator inputs), and the optima are cross-checked — a mismatch
+//! is a bug, not a benchmark artifact.
+//!
+//! Usage: `bench_solver [--fast] [--out PATH]`
+//!   --fast   run a 4-kernel subset (CI smoke)
+//!   --out    output path (default: BENCH_solver.json)
+
+use eatss::{EatssConfig, EatssModel, ModelGenerator};
+use eatss_gpusim::GpuArch;
+use eatss_kernels::Dataset;
+use eatss_smt::reference;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct EngineSample {
+    wall_s: f64,
+    nodes: u64,
+    solver_calls: u32,
+    best: Option<i64>,
+}
+
+struct KernelRow {
+    name: String,
+    fast: EngineSample,
+    reference: EngineSample,
+}
+
+fn build_model(b: &eatss_kernels::Benchmark) -> Option<EatssModel> {
+    let program = b.program().ok()?;
+    let sizes = b.sizes(Dataset::ExtraLarge);
+    ModelGenerator::new(&GpuArch::ga100(), EatssConfig::default())
+        .build(&program, Some(&sizes))
+        .ok()
+}
+
+/// Wall-clock repetitions per engine per kernel; the minimum is reported
+/// (single-shot solves are microsecond-scale and allocator-noise bound).
+const REPS: usize = 7;
+
+fn run_fast(b: &eatss_kernels::Benchmark) -> EngineSample {
+    let mut best_wall = f64::INFINITY;
+    let mut sample = None;
+    for _ in 0..REPS {
+        let (mut solver, objective) = build_model(b).expect("model rebuilds").into_parts();
+        let started = Instant::now();
+        let outcome = solver.maximize(&objective).expect("fast maximize");
+        let wall_s = started.elapsed().as_secs_f64();
+        if wall_s < best_wall {
+            best_wall = wall_s;
+            sample = Some(EngineSample {
+                wall_s,
+                nodes: solver.stats().nodes,
+                solver_calls: outcome.solver_calls,
+                best: outcome.best,
+            });
+        }
+    }
+    sample.expect("at least one rep")
+}
+
+fn run_reference(b: &eatss_kernels::Benchmark) -> EngineSample {
+    let mut best_wall = f64::INFINITY;
+    let mut sample = None;
+    for _ in 0..REPS {
+        let (solver, objective) = build_model(b).expect("model rebuilds").into_parts();
+        let started = Instant::now();
+        let outcome = reference::maximize(&solver, &objective).expect("reference maximize");
+        let wall_s = started.elapsed().as_secs_f64();
+        if wall_s < best_wall {
+            best_wall = wall_s;
+            sample = Some(EngineSample {
+                wall_s,
+                nodes: outcome.nodes,
+                solver_calls: outcome.solver_calls,
+                best: outcome.best,
+            });
+        }
+    }
+    sample.expect("at least one rep")
+}
+
+fn json_opt(v: Option<i64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| x.to_string())
+}
+
+fn engine_json(s: &EngineSample) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"nodes\": {}, \"solver_calls\": {}, \"best\": {}}}",
+        s.wall_s,
+        s.nodes,
+        s.solver_calls,
+        json_opt(s.best)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast_mode = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_solver.json".to_owned());
+
+    let mut kernels: Vec<_> = eatss_kernels::all()
+        .into_iter()
+        .filter(|b| b.polybench)
+        .collect();
+    if fast_mode {
+        kernels.truncate(4);
+    }
+
+    println!(
+        "solver-core engine comparison over {} PolyBench formulations (GA100, XL)\n",
+        kernels.len()
+    );
+
+    let mut rows = Vec::new();
+    for b in &kernels {
+        if build_model(b).is_none() {
+            println!("{:<12} skipped (model build failed)", b.name);
+            continue;
+        }
+        let fast = run_fast(b);
+        let reference = run_reference(b);
+        assert_eq!(
+            fast.best, reference.best,
+            "engines disagree on the optimum for {}",
+            b.name
+        );
+        println!(
+            "{:<12} fast: {:>8} nodes {:>9.4} s | reference: {:>8} nodes {:>9.4} s | x{:.1} nodes, x{:.1} wall",
+            b.name,
+            fast.nodes,
+            fast.wall_s,
+            reference.nodes,
+            reference.wall_s,
+            reference.nodes as f64 / fast.nodes.max(1) as f64,
+            reference.wall_s / fast.wall_s.max(1e-9),
+        );
+        rows.push(KernelRow {
+            name: b.name.to_owned(),
+            fast,
+            reference,
+        });
+    }
+
+    let total = |f: &dyn Fn(&KernelRow) -> f64| rows.iter().map(f).sum::<f64>();
+    let fast_nodes = total(&|r| r.fast.nodes as f64);
+    let ref_nodes = total(&|r| r.reference.nodes as f64);
+    let fast_wall = total(&|r| r.fast.wall_s);
+    let ref_wall = total(&|r| r.reference.wall_s);
+    let node_ratio = ref_nodes / fast_nodes.max(1.0);
+    let wall_ratio = ref_wall / fast_wall.max(1e-9);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"solver_core\",\n  \"mode\": ");
+    let _ = write!(
+        json,
+        "\"{}\",\n  \"kernels\": [\n",
+        if fast_mode { "fast" } else { "full" }
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"fast\": {}, \"reference\": {}, \"node_ratio\": {:.3}, \"wall_ratio\": {:.3}}}{}",
+            r.name,
+            engine_json(&r.fast),
+            engine_json(&r.reference),
+            r.reference.nodes as f64 / r.fast.nodes.max(1) as f64,
+            r.reference.wall_s / r.fast.wall_s.max(1e-9),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"aggregate\": {{\"fast_nodes\": {}, \"reference_nodes\": {}, \"node_ratio\": {:.3}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}\n}}\n",
+        fast_nodes as u64,
+        ref_nodes as u64,
+        node_ratio,
+        fast_wall,
+        ref_wall,
+        wall_ratio
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_solver.json");
+    println!(
+        "\naggregate: {} vs {} nodes (x{:.1}), {:.4} s vs {:.4} s wall (x{:.1})",
+        fast_nodes as u64, ref_nodes as u64, node_ratio, fast_wall, ref_wall, wall_ratio
+    );
+    println!("wrote {out_path}");
+}

@@ -12,9 +12,19 @@ use eatss_gpusim::GpuArch;
 use eatss_kernels::Dataset;
 use std::collections::BTreeMap;
 
+/// One solved formulation's overhead sample.
+struct Sample {
+    time_s: f64,
+    calls: u32,
+    nodes: u64,
+    bound_prunes: u64,
+    propagation_s: f64,
+    search_s: f64,
+}
+
 fn main() {
     println!("Section V-G: solver overhead by kernel dimensionality\n");
-    let mut groups: BTreeMap<usize, Vec<(f64, u32)>> = BTreeMap::new();
+    let mut groups: BTreeMap<usize, Vec<Sample>> = BTreeMap::new();
     let mut configs_run = 0;
     for b in eatss_kernels::all() {
         let program = b.program().expect("benchmark parses");
@@ -34,10 +44,14 @@ fn main() {
                     };
                     configs_run += 1;
                     if let Ok(solution) = model.solve() {
-                        groups.entry(depth).or_default().push((
-                            solution.solve_time.as_secs_f64(),
-                            solution.solver_calls,
-                        ));
+                        groups.entry(depth).or_default().push(Sample {
+                            time_s: solution.solve_time.as_secs_f64(),
+                            calls: solution.solver_calls,
+                            nodes: solution.stats.nodes,
+                            bound_prunes: solution.stats.bound_prunes,
+                            propagation_s: solution.stats.propagation_time.as_secs_f64(),
+                            search_s: solution.stats.search_time.as_secs_f64(),
+                        });
                     }
                 }
             }
@@ -49,14 +63,23 @@ fn main() {
         "mean end-to-end (s)",
         "mean solver calls",
         "mean per-call (s)",
+        "mean nodes",
+        "mean bound prunes",
+        "propagation (s)",
+        "search (s)",
     ]);
     let mut all_times = Vec::new();
     let mut all_calls = Vec::new();
     for (depth, samples) in &groups {
-        let times: Vec<f64> = samples.iter().map(|s| s.0).collect();
-        let calls: Vec<f64> = samples.iter().map(|s| s.1 as f64).collect();
-        let mean_t = times.iter().sum::<f64>() / times.len() as f64;
-        let mean_c = calls.iter().sum::<f64>() / calls.len() as f64;
+        let n = samples.len() as f64;
+        let times: Vec<f64> = samples.iter().map(|s| s.time_s).collect();
+        let calls: Vec<f64> = samples.iter().map(|s| s.calls as f64).collect();
+        let mean_t = times.iter().sum::<f64>() / n;
+        let mean_c = calls.iter().sum::<f64>() / n;
+        let mean_nodes = samples.iter().map(|s| s.nodes as f64).sum::<f64>() / n;
+        let mean_prunes = samples.iter().map(|s| s.bound_prunes as f64).sum::<f64>() / n;
+        let mean_prop = samples.iter().map(|s| s.propagation_s).sum::<f64>() / n;
+        let mean_search = samples.iter().map(|s| s.search_s).sum::<f64>() / n;
         all_times.extend(times);
         all_calls.extend(calls);
         t.row(vec![
@@ -65,6 +88,10 @@ fn main() {
             fmt_f(mean_t),
             fmt_f(mean_c),
             fmt_f(mean_t / mean_c.max(1.0)),
+            fmt_f(mean_nodes),
+            fmt_f(mean_prunes),
+            fmt_f(mean_prop),
+            fmt_f(mean_search),
         ]);
     }
     println!("{}", t.render());

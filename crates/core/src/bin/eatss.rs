@@ -12,6 +12,7 @@
 //!   --size NAME=VALUE          bind a problem-size parameter (repeatable)
 //!   --dataset standard|xl      use a registered benchmark's dataset
 //!   --sweep                    run the split x warp-fraction sweep
+//!   --jobs <N>                 sweep worker threads (0 = all cores; default 1)
 //!   --deadline-ms <N>          wall-clock solve budget per point (anytime)
 //!   --emit-smt                 print the SMT-LIB formulation
 //!   --emit-cuda                print the generated CUDA for the selection
@@ -35,6 +36,7 @@ struct Options {
     sizes: Vec<(String, i64)>,
     dataset: Option<eatss_kernels::Dataset>,
     sweep: bool,
+    jobs: usize,
     deadline: Option<Duration>,
     emit_smt: bool,
     emit_cuda: bool,
@@ -45,7 +47,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: eatss <kernel.eatss | benchmark-name> [--arch ga100|xavier] \
          [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
-         [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] \
+         [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] [--jobs N] \
          [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate]"
     );
     ExitCode::from(2)
@@ -60,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
         sizes: Vec::new(),
         dataset: None,
         sweep: false,
+        jobs: 1,
         deadline: None,
         emit_smt: false,
         emit_cuda: false,
@@ -105,6 +108,11 @@ fn parse_args() -> Result<Options, String> {
                 });
             }
             "--sweep" => opts.sweep = true,
+            "--jobs" => {
+                opts.jobs = next_value(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
             "--deadline-ms" => {
                 let ms: u64 = next_value(&mut args, "--deadline-ms")?
                     .parse()
@@ -156,7 +164,10 @@ fn run() -> Result<(), String> {
     let eatss = Eatss::new(opts.arch.clone());
 
     if opts.sweep {
-        let mut sweep_opts = SweepOptions::default();
+        let mut sweep_opts = SweepOptions {
+            jobs: opts.jobs,
+            ..SweepOptions::default()
+        };
         if let Some(deadline) = opts.deadline {
             for attempt in &mut sweep_opts.attempts {
                 attempt.deadline = Some(deadline);
@@ -247,6 +258,13 @@ fn run() -> Result<(), String> {
         } else {
             format!("anytime ({})", solution.provenance)
         }
+    );
+    println!(
+        "overhead  : {} nodes, {} bound prunes, propagation {:.4} s, search {:.4} s",
+        solution.stats.nodes,
+        solution.stats.bound_prunes,
+        solution.stats.propagation_time.as_secs_f64(),
+        solution.stats.search_time.as_secs_f64()
     );
 
     if opts.emit_cuda {

@@ -57,7 +57,7 @@ pub use error::{PipelineError, PipelineStage};
 pub use evaluate::{
     evaluate_program, evaluate_program_repeated, evaluate_program_with, EvaluateError,
 };
-pub use model::{Ablation, EatssError, EatssSolution, ModelGenerator, SolutionProvenance};
+pub use model::{Ablation, EatssError, EatssModel, EatssSolution, ModelGenerator, SolutionProvenance};
 pub use sweep::{SolveAttempt, SweepOptions, SweepOutcome, SweepPoint};
 
 use eatss_affine::{ProblemSizes, Program};

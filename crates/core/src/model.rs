@@ -6,7 +6,7 @@ use eatss_affine::analysis::AccessAnalysis;
 use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
-use eatss_smt::{Domain, IntExpr, SolveError, Solver, SolverConfig, StopReason};
+use eatss_smt::{Domain, IntExpr, SolveError, Solver, SolverConfig, SolverStats, StopReason};
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -110,6 +110,10 @@ pub struct EatssSolution {
     pub optimal: bool,
     /// How this selection was obtained.
     pub provenance: SolutionProvenance,
+    /// Solver counters accumulated while producing this solution (all
+    /// zeros for a default fallback): nodes, propagation/search time
+    /// split, bound prunes — the raw material of the §V-G overhead study.
+    pub stats: SolverStats,
 }
 
 impl EatssSolution {
@@ -125,6 +129,7 @@ impl EatssSolution {
             solve_time: Duration::ZERO,
             optimal: false,
             provenance: SolutionProvenance::DefaultFallback,
+            stats: SolverStats::default(),
         }
     }
 }
@@ -393,6 +398,14 @@ impl EatssModel {
         eatss_smt::to_smtlib(&self.solver, Some(&self.objective))
     }
 
+    /// Decomposes the model into its solver and objective — for tools
+    /// that drive the solver directly (e.g. the engine-comparison bench
+    /// runs both the fast and the reference engine on the same
+    /// formulation).
+    pub fn into_parts(self) -> (Solver, IntExpr) {
+        (self.solver, self.objective)
+    }
+
     /// Like [`EatssModel::solve`], but maximizes by binary search over
     /// the objective's interval hull instead of the paper's linear
     /// `OBJ > best` climb — `O(log range)` solver calls (an extension;
@@ -434,6 +447,7 @@ impl EatssModel {
             } else {
                 SolutionProvenance::SolvedIncomplete
             },
+            stats: self.solver.stats().clone(),
         })
     }
 
@@ -476,6 +490,7 @@ impl EatssModel {
             } else {
                 SolutionProvenance::SolvedIncomplete
             },
+            stats: self.solver.stats().clone(),
         })
     }
 }

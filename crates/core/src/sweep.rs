@@ -63,6 +63,14 @@ pub struct SweepOptions {
     /// Degrade unsolvable points to PPCG's default `32^d` tiling instead
     /// of dropping them.
     pub fallback_to_default: bool,
+    /// Worker threads for the sweep. `1` (the default) runs points
+    /// sequentially on the caller's thread; `0` uses the machine's
+    /// available parallelism. Results are identical regardless of the
+    /// value: every point is solved and measured independently, and the
+    /// outcome is merged in the canonical configuration order (splits ×
+    /// fractions × caps), including which systemic error — if any — is
+    /// reported.
+    pub jobs: usize,
 }
 
 impl Default for SweepOptions {
@@ -85,6 +93,7 @@ impl Default for SweepOptions {
                 },
             ],
             fallback_to_default: true,
+            jobs: 1,
         }
     }
 }
@@ -199,7 +208,83 @@ fn solve_with_retries(
     Err(last)
 }
 
+/// Everything one configuration contributes to the sweep outcome.
+/// Produced independently per point so the executor (sequential or
+/// parallel) can merge contributions in canonical order.
+struct PointContribution {
+    point: Option<SweepPoint>,
+    infeasible: Option<(EatssConfig, String)>,
+    failures: Vec<(EatssConfig, PipelineError)>,
+}
+
+/// Solves and measures one configuration through the retry ladder and
+/// fallback policy. `Err` means a systemic failure that would repeat at
+/// every point (solver bugs, unbound parameters, empty programs).
+fn process_point(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    config: EatssConfig,
+    options: &SweepOptions,
+) -> Result<PointContribution, PipelineError> {
+    let context = format!(
+        "{} @ split={} wfrac={} cap={:?}",
+        program.name, config.split_factor, config.warp_fraction, config.cap
+    );
+    let mut infeasible = None;
+    let mut failures = Vec::new();
+    let solved = match solve_with_retries(eatss, program, sizes, &config, options) {
+        Ok(solution) => Some(solution),
+        Err(e @ (EatssError::Unsatisfiable { .. } | EatssError::Exhausted { .. })) => {
+            infeasible = Some((config.clone(), e.to_string()));
+            None
+        }
+        Err(systemic) => return Err(PipelineError::from_eatss(systemic, context)),
+    };
+    // Measure the solved tiles; degrade to the default tiling when there
+    // are none or their measurement fails.
+    let mut measured = None;
+    if let Some(solution) = solved {
+        match eatss.evaluate(program, &solution.tiles, sizes, &config) {
+            Ok(report) => measured = Some((solution, report)),
+            Err(e) => {
+                failures.push((
+                    config.clone(),
+                    PipelineError::from_evaluate(e, context.clone()),
+                ));
+            }
+        }
+    }
+    if measured.is_none() && options.fallback_to_default {
+        let fallback = EatssSolution::ppcg_default(program.max_depth());
+        match eatss.evaluate(program, &fallback.tiles, sizes, &config) {
+            Ok(report) => measured = Some((fallback, report)),
+            Err(e) => {
+                failures.push((
+                    config.clone(),
+                    PipelineError::from_evaluate(e, format!("{context} [fallback]")),
+                ));
+            }
+        }
+    }
+    Ok(PointContribution {
+        point: measured.map(|(solution, report)| SweepPoint {
+            config,
+            solution,
+            report,
+        }),
+        infeasible,
+        failures,
+    })
+}
+
 /// Runs the sweep under an explicit degradation policy.
+///
+/// With [`SweepOptions::jobs`] > 1 the configurations are distributed
+/// over a scoped worker pool; results are merged back in the canonical
+/// configuration order, so the outcome — points, bookkeeping, and even
+/// which systemic error aborts the sweep — is identical to a sequential
+/// run.
 ///
 /// # Errors
 ///
@@ -215,69 +300,44 @@ pub fn run_with(
     warp_fractions: &[f64],
     options: &SweepOptions,
 ) -> Result<SweepOutcome, PipelineError> {
-    let mut points = Vec::new();
-    let mut infeasible = Vec::new();
-    let mut failures: Vec<(EatssConfig, PipelineError)> = Vec::new();
-    let mut attempted = 0usize;
+    // The canonical configuration order: splits × fractions × caps.
+    let mut configs = Vec::with_capacity(splits.len() * warp_fractions.len() * 2);
     for &split in splits {
         for &frac in warp_fractions {
-          for cap in [ThreadBlockCap::Virtual, ThreadBlockCap::Strict] {
-            attempted += 1;
-            let config = EatssConfig {
-                split_factor: split,
-                warp_fraction: frac,
-                cap,
-                ..EatssConfig::default()
-            };
-            let context = format!(
-                "{} @ split={split} wfrac={frac} cap={cap:?}",
-                program.name
-            );
-            let solved = match solve_with_retries(eatss, program, sizes, &config, options) {
-                Ok(solution) => Some(solution),
-                Err(e @ (EatssError::Unsatisfiable { .. } | EatssError::Exhausted { .. })) => {
-                    infeasible.push((config.clone(), e.to_string()));
-                    None
-                }
-                // Systemic failures (solver bugs, unbound parameters,
-                // empty programs) would repeat at every point — abort.
-                Err(systemic) => return Err(PipelineError::from_eatss(systemic, context)),
-            };
-            // Measure the solved tiles; degrade to the default tiling
-            // when there are none or their measurement fails.
-            let mut measured = None;
-            if let Some(solution) = solved {
-                match eatss.evaluate(program, &solution.tiles, sizes, &config) {
-                    Ok(report) => measured = Some((solution, report)),
-                    Err(e) => {
-                        failures.push((
-                            config.clone(),
-                            PipelineError::from_evaluate(e, context.clone()),
-                        ));
-                    }
-                }
-            }
-            if measured.is_none() && options.fallback_to_default {
-                let fallback = EatssSolution::ppcg_default(program.max_depth());
-                match eatss.evaluate(program, &fallback.tiles, sizes, &config) {
-                    Ok(report) => measured = Some((fallback, report)),
-                    Err(e) => {
-                        failures.push((
-                            config.clone(),
-                            PipelineError::from_evaluate(e, format!("{context} [fallback]")),
-                        ));
-                    }
-                }
-            }
-            if let Some((solution, report)) = measured {
-                points.push(SweepPoint {
-                    config,
-                    solution,
-                    report,
+            for cap in [ThreadBlockCap::Virtual, ThreadBlockCap::Strict] {
+                configs.push(EatssConfig {
+                    split_factor: split,
+                    warp_fraction: frac,
+                    cap,
+                    ..EatssConfig::default()
                 });
             }
-          }
         }
+    }
+    let attempted = configs.len();
+    let jobs = match options.jobs {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    };
+    let contributions: Vec<Result<PointContribution, PipelineError>> =
+        if jobs <= 1 || configs.len() <= 1 {
+            configs
+                .into_iter()
+                .map(|config| process_point(eatss, program, sizes, config, options))
+                .collect()
+        } else {
+            run_parallel(eatss, program, sizes, configs, options, jobs)
+        };
+    // Merge in canonical order. The first systemic error (by canonical
+    // index) aborts, exactly as the sequential loop would.
+    let mut points = Vec::new();
+    let mut infeasible = Vec::new();
+    let mut failures = Vec::new();
+    for contribution in contributions {
+        let c = contribution?;
+        points.extend(c.point);
+        infeasible.extend(c.infeasible);
+        failures.extend(c.failures);
     }
     if points.is_empty() {
         return Err(PipelineError::NoMeasurablePoint {
@@ -290,6 +350,45 @@ pub fn run_with(
         infeasible,
         failures,
     })
+}
+
+/// The deterministic parallel executor: a scoped worker pool pulls
+/// configuration indices from a shared atomic counter and writes each
+/// result into its canonical slot. No point is skipped on error — the
+/// merge step decides (deterministically) which error wins.
+fn run_parallel(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    configs: Vec<EatssConfig>,
+    options: &SweepOptions,
+    jobs: usize,
+) -> Vec<Result<PointContribution, PipelineError>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<PointContribution, PipelineError>>>> =
+        configs.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(configs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(config) = configs.get(i) else { break };
+                let result = process_point(eatss, program, sizes, config.clone(), options);
+                *slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every index processed by a worker")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -416,6 +515,7 @@ mod tests {
                 coarsen: false,
             }],
             fallback_to_default: true,
+            ..SweepOptions::default()
         };
         let out = sweep_with(&eatss, &sizes, &opts).unwrap();
         assert_eq!(out.points.len(), 2);
@@ -443,6 +543,7 @@ mod tests {
                     },
                 ],
                 fallback_to_default: true,
+                ..SweepOptions::default()
             },
         )
         .unwrap();
@@ -501,5 +602,118 @@ mod tests {
         assert!(all_nan.best_by_ppw().is_none());
         assert!(all_nan.best_by_perf().is_none());
         assert!(all_nan.best_by_energy().is_none());
+    }
+
+    /// Structural equality of two sweep outcomes: same configurations in
+    /// the same order, same tiles, same provenance, bit-identical
+    /// measurements, and matching bookkeeping.
+    fn assert_outcomes_identical(a: &SweepOutcome, b: &SweepOutcome) {
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.config, pb.config);
+            assert_eq!(pa.solution.tiles.sizes(), pb.solution.tiles.sizes());
+            assert_eq!(pa.solution.objective, pb.solution.objective);
+            assert_eq!(pa.solution.provenance, pb.solution.provenance);
+            assert_eq!(pa.report.ppw.to_bits(), pb.report.ppw.to_bits());
+            assert_eq!(pa.report.gflops.to_bits(), pb.report.gflops.to_bits());
+            assert_eq!(pa.report.energy_j.to_bits(), pb.report.energy_j.to_bits());
+            assert_eq!(pa.report.valid, pb.report.valid);
+        }
+        assert_eq!(a.infeasible.len(), b.infeasible.len());
+        for (ia, ib) in a.infeasible.iter().zip(&b.infeasible) {
+            assert_eq!(ia.0, ib.0);
+            assert_eq!(ia.1, ib.1);
+        }
+        assert_eq!(a.failures.len(), b.failures.len());
+        for (fa, fb) in a.failures.iter().zip(&b.failures) {
+            assert_eq!(fa.0, fb.0);
+            assert_eq!(fa.1.to_string(), fb.1.to_string());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+        let sequential = run_with(
+            &eatss,
+            &mm(),
+            &sizes,
+            &PAPER_SPLITS,
+            &[0.5, 1.0],
+            &SweepOptions::default(),
+        )
+        .unwrap();
+        for jobs in [2, 4, 0] {
+            let parallel = run_with(
+                &eatss,
+                &mm(),
+                &sizes,
+                &PAPER_SPLITS,
+                &[0.5, 1.0],
+                &SweepOptions {
+                    jobs,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+            assert_outcomes_identical(&sequential, &parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_fallback_bookkeeping() {
+        // The mixed feasible/infeasible scenario must merge identically:
+        // infeasible entries and fallback points in canonical order.
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 8), ("N", 8), ("P", 8)]);
+        let sequential = run_with(
+            &eatss,
+            &mm(),
+            &sizes,
+            &[0.5],
+            &[1.0, 0.125],
+            &SweepOptions::default(),
+        )
+        .unwrap();
+        let parallel = run_with(
+            &eatss,
+            &mm(),
+            &sizes,
+            &[0.5],
+            &[1.0, 0.125],
+            &SweepOptions {
+                jobs: 3,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.infeasible.len(), 2);
+        assert_outcomes_identical(&sequential, &parallel);
+    }
+
+    #[test]
+    fn parallel_sweep_reports_the_sequential_systemic_error() {
+        // An unbound problem size is a systemic failure at every point;
+        // the parallel merge must surface the same (first-by-canonical-
+        // order) error a sequential run aborts with.
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000)]); // P unbound
+        let sequential =
+            run_with(&eatss, &mm(), &sizes, &[0.0, 0.5], &[0.5], &SweepOptions::default())
+                .unwrap_err();
+        let parallel = run_with(
+            &eatss,
+            &mm(),
+            &sizes,
+            &[0.0, 0.5],
+            &[0.5],
+            &SweepOptions {
+                jobs: 4,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(sequential.to_string(), parallel.to_string());
     }
 }

@@ -1,0 +1,71 @@
+//! Criterion benches for the solver core rewrite: trail/worklist/bound
+//! engine vs the retained naive reference on representative EATSS
+//! formulations. `crates/bench/src/bin/bench_solver.rs` produces the
+//! headline `BENCH_solver.json` numbers over full PolyBench formulations;
+//! this suite tracks the raw engine on self-contained problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatss_smt::{reference, IntExpr, Solver};
+use std::hint::black_box;
+
+/// The §IV-A matmul formulation at a configurable warp-alignment factor
+/// (smaller factor → larger search space).
+fn matmul(waf: i64) -> (Solver, IntExpr) {
+    let mut s = Solver::new();
+    let cap = 12_288;
+    let ti = s.int_var("Ti", 1, 1024);
+    let tj = s.int_var("Tj", 1, 1024);
+    let tk = s.int_var("Tk", 1, 1024);
+    for t in [&ti, &tj, &tk] {
+        s.assert(t.modulo(waf).eq_expr(0));
+    }
+    let bsize = ti.clone() * tj.clone();
+    s.assert((bsize.clone() * IntExpr::constant(3) * IntExpr::constant(2)).le(65_536));
+    s.assert((ti.clone() * tj.clone() + tk.clone() * tj.clone()).le(cap));
+    s.assert((ti * tk).le(cap));
+    let obj = bsize + IntExpr::constant(2 * 16) * tj;
+    (s, obj)
+}
+
+fn bench_maximize_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_core_maximize");
+    group.sample_size(10);
+    for waf in [16i64, 8] {
+        group.bench_with_input(BenchmarkId::new("fast", waf), &waf, |b, &waf| {
+            b.iter(|| {
+                let (mut s, obj) = matmul(waf);
+                black_box(s.maximize(black_box(&obj)).expect("solves"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", waf), &waf, |b, &waf| {
+            b.iter(|| {
+                let (s, obj) = matmul(waf);
+                black_box(reference::maximize(&s, black_box(&obj)).expect("solves"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_core_check");
+    group.sample_size(10);
+    for waf in [16i64, 4] {
+        group.bench_with_input(BenchmarkId::new("fast", waf), &waf, |b, &waf| {
+            b.iter(|| {
+                let (mut s, _) = matmul(waf);
+                black_box(s.check().expect("checks"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", waf), &waf, |b, &waf| {
+            b.iter(|| {
+                let (s, _) = matmul(waf);
+                black_box(reference::check(&s).expect("checks"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximize_engines, bench_check_engines);
+criterion_main!(benches);

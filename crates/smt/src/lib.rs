@@ -49,9 +49,12 @@ mod domain;
 mod expr;
 mod interval;
 mod model;
+pub mod reference;
+mod search;
 mod smtlib;
 mod solver;
 mod stats;
+mod trail;
 
 pub use domain::Domain;
 pub use expr::{BoolExpr, CmpOp, IntExpr, VarId};

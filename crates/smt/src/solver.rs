@@ -1,10 +1,15 @@
-//! The constraint solver: propagation + depth-first branch-and-prune over
-//! finite integer domains, with the paper's iterative maximization loop.
+//! The constraint solver's public API: variables, assertions, scopes, and
+//! the paper's iterative maximization loop.
+//!
+//! The search itself lives in the `search` module (trail-based DFS with
+//! worklist propagation and objective-bound pruning); the pre-rewrite
+//! engine is retained in [`crate::reference`] for differential testing.
 
 use crate::domain::Domain;
-use crate::expr::{BoolExpr, BoolNode, IntExpr, IntNode, VarId};
+use crate::expr::{BoolExpr, IntExpr, VarId};
 use crate::interval::Interval;
 use crate::model::Model;
+use crate::search::{bounds, Budget, ObjectiveBound, Search, SearchMode};
 use crate::stats::SolverStats;
 use std::error::Error;
 use std::fmt;
@@ -94,12 +99,16 @@ pub struct SolverConfig {
     /// call; for [`Solver::maximize`] / [`Solver::minimize`] /
     /// [`Solver::maximize_binary`] it bounds the *whole* optimization
     /// loop, which then returns its best-so-far model with
-    /// `complete = false` (anytime solving).
+    /// `complete = false` (anytime solving). [`Solver::enumerate`] is
+    /// likewise bounded as a whole.
     pub deadline: Option<Duration>,
     /// Cooperative cancellation flag, checked at the same cadence as the
     /// deadline.
     pub cancel: Option<CancelToken>,
-    /// Maximum propagation fixpoint rounds per node.
+    /// Propagation budget per search node, measured in constraint visits
+    /// relative to a full pass (the worklist engine stops filtering after
+    /// `max_propagation_rounds × constraints` visits — weaker pruning,
+    /// never unsoundness).
     pub max_propagation_rounds: u32,
     /// Try larger values first (helps the maximization loop converge in
     /// few iterations, like Z3's default behaviour on these formulations).
@@ -165,13 +174,6 @@ pub struct MaximizeOutcome {
     pub complete: bool,
     /// Why the loop stopped early, when `complete` is `false`.
     pub stop: Option<StopReason>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Tri {
-    True,
-    False,
-    Unknown,
 }
 
 /// A finite-domain non-linear integer constraint solver.
@@ -294,7 +296,19 @@ impl Solver {
         self.base_domains.get(var.index())
     }
 
-    fn validate(&self) -> Result<(), SolveError> {
+    pub(crate) fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub(crate) fn base_domains(&self) -> &[Domain] {
+        &self.base_domains
+    }
+
+    pub(crate) fn constraint_entries(&self) -> &[(BoolExpr, Vec<VarId>)] {
+        &self.constraints
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), SolveError> {
         for (c, vars) in &self.constraints {
             for v in vars {
                 if v.index() >= self.names.len() {
@@ -326,13 +340,20 @@ impl Solver {
     /// variable from another solver.
     pub fn check(&mut self) -> Result<SolveResult, SolveError> {
         let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
-        self.check_until(deadline_at)
+        self.check_inner(deadline_at, self.config.node_limit, SearchMode::Satisfy)
     }
 
-    /// [`Solver::check`] against an absolute deadline instant. The
-    /// optimization loops compute their instant once at entry so the
-    /// budget is global across all their `check` calls.
-    fn check_until(&mut self, deadline_at: Option<Instant>) -> Result<SolveResult, SolveError> {
+    /// [`Solver::check`] against an absolute deadline, an explicit node
+    /// budget, and an optional branch-and-bound incumbent. The optimization
+    /// loops compute the deadline once at entry so the budget is global
+    /// across all their `check` calls; [`Solver::enumerate`] additionally
+    /// shrinks the node budget as models are found.
+    fn check_inner(
+        &mut self,
+        deadline_at: Option<Instant>,
+        node_cap: u64,
+        mode: SearchMode<'_>,
+    ) -> Result<SolveResult, SolveError> {
         self.validate()?;
         let started = Instant::now();
         self.stats.checks += 1;
@@ -345,24 +366,32 @@ impl Solver {
                 stop: Some(reason),
             });
         }
-        let mut search = Search {
-            names: &self.names,
-            constraints: &self.constraints,
-            config: &self.config,
-            stats: &mut self.stats,
-            nodes_at_entry: 0,
-            deadline_at,
-            stop: None,
-        };
-        search.nodes_at_entry = search.stats.nodes;
-        let domains = self.base_domains.clone();
-        let found = search.dfs(domains);
-        let stop = search.stop;
+        let propagation_before = self.stats.propagation_time;
+        let mut search = Search::new(
+            &self.names,
+            &self.base_domains,
+            &self.constraints,
+            &self.config,
+            &mut self.stats,
+            Budget {
+                node_cap,
+                deadline_at,
+            },
+            mode,
+        );
+        let found = search.run();
+        let stop = search.stop();
         if let Some(reason) = stop {
             self.record_stop(reason);
         }
         let model = found.map(|values| Model::new(values, self.names.clone()));
-        self.stats.solve_time += started.elapsed();
+        let elapsed = started.elapsed();
+        self.stats.solve_time += elapsed;
+        let propagation_delta = self
+            .stats
+            .propagation_time
+            .saturating_sub(propagation_before);
+        self.stats.search_time += elapsed.saturating_sub(propagation_delta);
         Ok(SolveResult {
             model,
             complete: stop.is_none(),
@@ -378,70 +407,80 @@ impl Solver {
         }
     }
 
-    /// Maximizes `objective` with the paper's §IV-L loop: find a first
-    /// satisfying model, then repeatedly assert `objective > best` and
-    /// re-check until unsatisfiable.
+    /// Maximizes `objective` with the paper's §IV-L improvement semantics
+    /// upgraded to single-pass branch-and-bound: one exhaustive search in
+    /// which every improving leaf becomes the new *incumbent* and the
+    /// search continues, so exhausting the tree proves optimality without
+    /// restarting a `check` per improvement (no repeated hull builds or
+    /// root propagations). Inside the search the incumbent acts as a
+    /// virtual `objective > best` constraint — it filters domain values in
+    /// propagation, cuts subtrees whose interval upper bound cannot beat
+    /// it before any propagation is paid for (counted in
+    /// [`SolverStats::bound_prunes`]), and is verified exactly at every
+    /// candidate leaf. Optima are identical to the paper's
+    /// asserted-constraint loop (the retained [`crate::reference`] engine);
+    /// [`MaximizeOutcome::solver_calls`] reports `improvements + 1`, the
+    /// number of `check` calls the §IV-L loop would have made.
     ///
     /// # Errors
     ///
-    /// Propagates [`Solver::check`] errors, plus evaluation errors when
-    /// computing the objective value of an intermediate model.
+    /// Propagates [`Solver::check`] errors.
     pub fn maximize(&mut self, objective: &IntExpr) -> Result<MaximizeOutcome, SolveError> {
-        // The wall-clock budget covers the whole improvement loop, not
-        // each `check`: anytime solving returns the best model found so
-        // far when the budget runs out mid-climb.
+        self.validate()?;
         let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
-        self.push();
-        let mut best: Option<(i64, Model)> = None;
-        let mut calls = 0u32;
-        let optimal;
-        let stop;
-        loop {
-            let result = match self.check_until(deadline_at) {
-                Ok(r) => r,
-                Err(e) => {
-                    self.pop()?;
-                    return Err(e);
-                }
-            };
-            calls += 1;
-            match result.model {
-                Some(model) => {
-                    let value = match model.eval(objective) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            self.pop()?;
-                            return Err(e);
-                        }
-                    };
-                    best = Some((value, model));
-                    if let Some(reason) =
-                        budget_stop(deadline_at, self.config.cancel.as_ref())
-                    {
-                        self.record_stop(reason);
-                        stop = Some(reason);
-                        optimal = false;
-                        break;
-                    }
-                    self.assert(objective.gt(value));
-                }
-                None => {
-                    optimal = result.complete;
-                    stop = result.stop;
-                    break;
-                }
-            }
+        let started = Instant::now();
+        self.stats.checks += 1;
+        if let Some(reason) = budget_stop(deadline_at, self.config.cancel.as_ref()) {
+            self.record_stop(reason);
+            self.stats.solve_time += started.elapsed();
+            return Ok(MaximizeOutcome {
+                model: None,
+                best: None,
+                solver_calls: 1,
+                optimal: false,
+                complete: false,
+                stop: Some(reason),
+            });
         }
-        self.pop()?;
+        let propagation_before = self.stats.propagation_time;
+        let mut search = Search::new(
+            &self.names,
+            &self.base_domains,
+            &self.constraints,
+            &self.config,
+            &mut self.stats,
+            Budget {
+                node_cap: self.config.node_limit,
+                deadline_at,
+            },
+            SearchMode::Optimize(objective),
+        );
+        // In optimize mode the search never returns from `run` with a
+        // model — improving leaves are recorded and the search continues.
+        let none = search.run();
+        debug_assert!(none.is_none());
+        let best = search.take_best();
+        let improvements = search.improvements();
+        let stop = search.stop();
+        if let Some(reason) = stop {
+            self.record_stop(reason);
+        }
+        let elapsed = started.elapsed();
+        self.stats.solve_time += elapsed;
+        let propagation_delta = self
+            .stats
+            .propagation_time
+            .saturating_sub(propagation_before);
+        self.stats.search_time += elapsed.saturating_sub(propagation_delta);
         let (best_value, model) = match best {
-            Some((v, m)) => (Some(v), Some(m)),
+            Some((v, values)) => (Some(v), Some(Model::new(values, self.names.clone()))),
             None => (None, None),
         };
         Ok(MaximizeOutcome {
             model,
             best: best_value,
-            solver_calls: calls,
-            optimal,
+            solver_calls: improvements + 1,
+            optimal: stop.is_none(),
             complete: stop.is_none(),
             stop,
         })
@@ -451,7 +490,9 @@ impl Solver {
     /// of the paper's linear `OBJ > best` loop — an extension that needs
     /// `O(log range)` solver calls. Produces the same optimum as
     /// [`Solver::maximize`]; exposed so the ablation benches can compare
-    /// the two strategies (§V-G discusses solver-call counts).
+    /// the two strategies (§V-G discusses solver-call counts). Each probe
+    /// also prunes by its own bound (subtrees that cannot exceed the
+    /// probed midpoint).
     ///
     /// `hi` must be an upper bound on the objective over the feasible
     /// space (e.g. from interval arithmetic); values above it are never
@@ -466,19 +507,11 @@ impl Solver {
         hi: i64,
     ) -> Result<MaximizeOutcome, SolveError> {
         let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
-        self.push();
         let mut calls = 0u32;
         // First find any model to anchor the lower bound.
-        let first = match self.check_until(deadline_at) {
-            Ok(r) => r,
-            Err(e) => {
-                self.pop()?;
-                return Err(e);
-            }
-        };
+        let first = self.check_inner(deadline_at, self.config.node_limit, SearchMode::Satisfy)?;
         calls += 1;
         let Some(first_model) = first.model else {
-            self.pop()?;
             return Ok(MaximizeOutcome {
                 model: None,
                 best: None,
@@ -488,13 +521,7 @@ impl Solver {
                 stop: first.stop,
             });
         };
-        let mut best_value = match first_model.eval(objective) {
-            Ok(v) => v,
-            Err(e) => {
-                self.pop()?;
-                return Err(e);
-            }
-        };
+        let mut best_value = first_model.eval(objective)?;
         let mut best_model = first_model;
         let mut stop: Option<StopReason> = None;
         let mut lo = best_value; // known achievable
@@ -506,28 +533,19 @@ impl Solver {
                 break;
             }
             // Probe the upper half: is there a model with value > mid?
+            // The incumbent bound enforces strict improvement over `mid`
+            // inside the search (propagation filtering plus an exact leaf
+            // check), so no `objective > mid` assertion needs pushing.
             let mid = lo + (hi - lo) / 2;
-            self.push();
-            self.assert(objective.gt(mid));
-            let result = match self.check_until(deadline_at) {
-                Ok(r) => r,
-                Err(e) => {
-                    self.pop()?;
-                    self.pop()?;
-                    return Err(e);
-                }
-            };
+            let bound = SearchMode::Bounded(ObjectiveBound {
+                objective,
+                incumbent: Some(mid),
+            });
+            let result = self.check_inner(deadline_at, self.config.node_limit, bound)?;
             calls += 1;
             match result.model {
                 Some(model) => {
-                    let value = match model.eval(objective) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            self.pop()?;
-                            self.pop()?;
-                            return Err(e);
-                        }
-                    };
+                    let value = model.eval(objective)?;
                     best_value = value.max(best_value);
                     best_model = model;
                     lo = best_value;
@@ -539,9 +557,7 @@ impl Solver {
                     hi = mid;
                 }
             }
-            self.pop()?;
         }
-        self.pop()?;
         Ok(MaximizeOutcome {
             model: Some(best_model),
             best: Some(best_value),
@@ -567,14 +583,48 @@ impl Solver {
     /// Enumerates up to `max_models` distinct satisfying assignments by
     /// adding blocking clauses. Intended for tests and small spaces.
     ///
+    /// Blocking clauses range over the variables actually mentioned by the
+    /// asserted constraints, so models are distinct *projections onto the
+    /// constrained variables* — an unconstrained auxiliary variable no
+    /// longer multiplies the model count (or the clause size) by its domain
+    /// size. When no variable is constrained at all, every variable counts,
+    /// preserving full cross-product enumeration.
+    ///
+    /// Enumeration is anytime like `check`/`maximize`: the node budget and
+    /// deadline apply to the whole enumeration, and the models found before
+    /// a budget ran out are returned.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Solver::check`].
     pub fn enumerate(&mut self, max_models: usize) -> Result<Vec<Model>, SolveError> {
+        let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
+        let nodes_at_entry = self.stats.nodes;
+        // The blocking-clause support set: variables constrained *before*
+        // enumeration begins (blocking clauses added below never widen it).
+        let mut constrained = vec![false; self.names.len()];
+        for (_, vars) in &self.constraints {
+            for v in vars {
+                if let Some(flag) = constrained.get_mut(v.index()) {
+                    *flag = true;
+                }
+            }
+        }
+        let targets: Vec<usize> = if constrained.iter().any(|&c| c) {
+            (0..self.names.len()).filter(|&i| constrained[i]).collect()
+        } else {
+            (0..self.names.len()).collect()
+        };
         self.push();
         let mut models = Vec::new();
         while models.len() < max_models {
-            let result = match self.check() {
+            let used = self.stats.nodes - nodes_at_entry;
+            let Some(remaining) = self.config.node_limit.checked_sub(used).filter(|&r| r > 0)
+            else {
+                self.record_stop(StopReason::NodeLimit);
+                break;
+            };
+            let result = match self.check_inner(deadline_at, remaining, SearchMode::Satisfy) {
                 Ok(r) => r,
                 Err(e) => {
                     self.pop()?;
@@ -582,7 +632,7 @@ impl Solver {
                 }
             };
             let Some(model) = result.model else { break };
-            let blocking = BoolExpr::any((0..self.names.len()).map(|i| {
+            let blocking = BoolExpr::any(targets.iter().map(|&i| {
                 let id = VarId(i as u32);
                 let var = IntExpr::var(id, &self.names[i]);
                 let v = model.value_of(id).expect("model covers all vars");
@@ -597,7 +647,10 @@ impl Solver {
 }
 
 /// Polls the external budgets (cancellation wins over deadline).
-fn budget_stop(deadline_at: Option<Instant>, cancel: Option<&CancelToken>) -> Option<StopReason> {
+pub(crate) fn budget_stop(
+    deadline_at: Option<Instant>,
+    cancel: Option<&CancelToken>,
+) -> Option<StopReason> {
     if cancel.is_some_and(CancelToken::is_cancelled) {
         return Some(StopReason::Cancelled);
     }
@@ -606,263 +659,6 @@ fn budget_stop(deadline_at: Option<Instant>, cancel: Option<&CancelToken>) -> Op
     }
     None
 }
-
-/// Poll the clock/cancel flag every this many search nodes — often enough
-/// that a 10 ms deadline is honoured promptly, rare enough that
-/// `Instant::now` stays off the hot path.
-const BUDGET_POLL_PERIOD: u64 = 64;
-
-struct Search<'a> {
-    names: &'a [String],
-    constraints: &'a [(BoolExpr, Vec<VarId>)],
-    config: &'a SolverConfig,
-    stats: &'a mut SolverStats,
-    nodes_at_entry: u64,
-    deadline_at: Option<Instant>,
-    stop: Option<StopReason>,
-}
-
-impl Search<'_> {
-    fn nodes_used(&self) -> u64 {
-        self.stats.nodes - self.nodes_at_entry
-    }
-
-    /// Checks all budgets; sets [`Search::stop`] and returns `true` if
-    /// any is exhausted. Node limit is exact; clock and cancellation are
-    /// polled every [`BUDGET_POLL_PERIOD`] nodes.
-    fn out_of_budget(&mut self) -> bool {
-        if self.stop.is_some() {
-            return true;
-        }
-        if self.nodes_used() >= self.config.node_limit {
-            self.stop = Some(StopReason::NodeLimit);
-            return true;
-        }
-        if self.nodes_used().is_multiple_of(BUDGET_POLL_PERIOD) {
-            if let Some(reason) = budget_stop(self.deadline_at, self.config.cancel.as_ref()) {
-                self.stop = Some(reason);
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Returns a satisfying assignment extending `domains`, or `None`.
-    fn dfs(&mut self, mut domains: Vec<Domain>) -> Option<Vec<i64>> {
-        if !self.propagate(&mut domains) {
-            return None;
-        }
-        if let Some(values) = assignment_of(&domains) {
-            // Every domain is a singleton; do a final exact check (interval
-            // reasoning may have left some constraints undecided).
-            let model = Model::new(values.clone(), self.names.to_vec());
-            for (c, _) in self.constraints {
-                match model.eval_bool(c) {
-                    Ok(true) => {}
-                    // Division by zero under this assignment: treat the
-                    // candidate as violating, like Z3's total-function
-                    // semantics never would satisfy our guarded uses.
-                    Ok(false) | Err(_) => return None,
-                }
-            }
-            return Some(values);
-        }
-        // Branch on the smallest non-singleton domain.
-        let (var_idx, _) = domains
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.len() > 1)
-            .min_by_key(|(_, d)| d.len())?;
-        let candidates: Vec<i64> = if self.config.descending_values {
-            domains[var_idx].iter().rev().collect()
-        } else {
-            domains[var_idx].iter().collect()
-        };
-        for value in candidates {
-            if self.out_of_budget() {
-                return None;
-            }
-            self.stats.nodes += 1;
-            let mut child = domains.clone();
-            child[var_idx] = Domain::singleton(value);
-            if let Some(values) = self.dfs(child) {
-                return Some(values);
-            }
-            self.stats.backtracks += 1;
-            if self.stop.is_some() {
-                return None;
-            }
-        }
-        None
-    }
-
-    /// Filters domains until fixpoint. Returns `false` on inconsistency.
-    fn propagate(&mut self, domains: &mut [Domain]) -> bool {
-        for _ in 0..self.config.max_propagation_rounds {
-            self.stats.propagations += 1;
-            let mut changed = false;
-            for (constraint, vars) in self.constraints {
-                let hulls: Vec<Interval> = domains.iter().map(Domain::hull).collect();
-                match tri_bool(constraint, &hulls) {
-                    Tri::False => return false,
-                    Tri::True => continue,
-                    Tri::Unknown => {}
-                }
-                for &var in vars {
-                    let idx = var.index();
-                    if domains[idx].len() <= 1 {
-                        continue;
-                    }
-                    // Large domains are filtered by hull only (cheap); small
-                    // ones get exact value filtering.
-                    if domains[idx].len() > 4096 {
-                        continue;
-                    }
-                    let mut probe = hulls.clone();
-                    let before = domains[idx].len();
-                    let constraint_ref = constraint;
-                    domains[idx].retain(|&v| {
-                        probe[idx] = Interval::singleton(v);
-                        let verdict = tri_bool(constraint_ref, &probe);
-                        verdict != Tri::False
-                    });
-                    let removed = before - domains[idx].len();
-                    if removed > 0 {
-                        self.stats.values_pruned += removed as u64;
-                        changed = true;
-                        if domains[idx].is_empty() {
-                            return false;
-                        }
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        true
-    }
-}
-
-fn assignment_of(domains: &[Domain]) -> Option<Vec<i64>> {
-    domains.iter().map(Domain::as_singleton).collect()
-}
-
-/// Interval evaluation of an integer expression given per-variable hulls.
-fn bounds(expr: &IntExpr, hulls: &[Interval]) -> Interval {
-    match &*expr.0 {
-        IntNode::Const(v) => Interval::singleton(*v),
-        IntNode::Var(id, _) => hulls
-            .get(id.index())
-            .copied()
-            .unwrap_or_else(Interval::top),
-        IntNode::Add(xs) => xs
-            .iter()
-            .fold(Interval::singleton(0), |acc, x| acc + bounds(x, hulls)),
-        IntNode::Mul(xs) => xs
-            .iter()
-            .fold(Interval::singleton(1), |acc, x| acc * bounds(x, hulls)),
-        IntNode::Sub(a, b) => bounds(a, hulls) - bounds(b, hulls),
-        IntNode::Neg(a) => -bounds(a, hulls),
-        IntNode::Div(a, b) => bounds(a, hulls).div_euclid(bounds(b, hulls)),
-        IntNode::Mod(a, b) => bounds(a, hulls).rem_euclid(bounds(b, hulls)),
-        IntNode::Min(a, b) => bounds(a, hulls).min(bounds(b, hulls)),
-        IntNode::Max(a, b) => bounds(a, hulls).max(bounds(b, hulls)),
-    }
-}
-
-fn tri_cmp(op: crate::expr::CmpOp, a: Interval, b: Interval) -> Tri {
-    use crate::expr::CmpOp::*;
-    if a.is_empty() || b.is_empty() {
-        return Tri::False;
-    }
-    match op {
-        Le => {
-            if a.hi() <= b.lo() {
-                Tri::True
-            } else if a.lo() > b.hi() {
-                Tri::False
-            } else {
-                Tri::Unknown
-            }
-        }
-        Lt => {
-            if a.hi() < b.lo() {
-                Tri::True
-            } else if a.lo() >= b.hi() {
-                Tri::False
-            } else {
-                Tri::Unknown
-            }
-        }
-        Ge => tri_cmp(Le, b, a),
-        Gt => tri_cmp(Lt, b, a),
-        Eq => {
-            if a.is_singleton() && b.is_singleton() && a.lo() == b.lo() {
-                Tri::True
-            } else if a.intersect(b).is_empty() {
-                Tri::False
-            } else {
-                Tri::Unknown
-            }
-        }
-        Ne => match tri_cmp(Eq, a, b) {
-            Tri::True => Tri::False,
-            Tri::False => Tri::True,
-            Tri::Unknown => Tri::Unknown,
-        },
-    }
-}
-
-/// Kleene three-valued evaluation of a constraint under interval hulls.
-fn tri_bool(expr: &BoolExpr, hulls: &[Interval]) -> Tri {
-    match &*expr.0 {
-        BoolNode::True => Tri::True,
-        BoolNode::False => Tri::False,
-        BoolNode::Cmp(op, a, b) => tri_cmp(*op, bounds(a, hulls), bounds(b, hulls)),
-        BoolNode::And(xs) => {
-            let mut any_unknown = false;
-            for x in xs {
-                match tri_bool(x, hulls) {
-                    Tri::False => return Tri::False,
-                    Tri::Unknown => any_unknown = true,
-                    Tri::True => {}
-                }
-            }
-            if any_unknown {
-                Tri::Unknown
-            } else {
-                Tri::True
-            }
-        }
-        BoolNode::Or(xs) => {
-            let mut any_unknown = false;
-            for x in xs {
-                match tri_bool(x, hulls) {
-                    Tri::True => return Tri::True,
-                    Tri::Unknown => any_unknown = true,
-                    Tri::False => {}
-                }
-            }
-            if any_unknown {
-                Tri::Unknown
-            } else {
-                Tri::False
-            }
-        }
-        BoolNode::Not(a) => match tri_bool(a, hulls) {
-            Tri::True => Tri::False,
-            Tri::False => Tri::True,
-            Tri::Unknown => Tri::Unknown,
-        },
-        BoolNode::Implies(a, b) => match (tri_bool(a, hulls), tri_bool(b, hulls)) {
-            (Tri::False, _) | (_, Tri::True) => Tri::True,
-            (Tri::True, Tri::False) => Tri::False,
-            _ => Tri::Unknown,
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1307,5 +1103,87 @@ mod tests {
             }
         }
         assert_eq!(out.best, Some(best));
+    }
+
+    #[test]
+    fn hull_rebuilds_once_per_check_regression() {
+        // Regression guard for the O(V·C) hull rebuild: the worklist
+        // engine builds the hull vector exactly once per `check` and
+        // maintains it incrementally. If per-round or per-probe rebuilds
+        // return, this count explodes past `checks`.
+        let (mut s, obj) = matmul_formulation(SolverConfig::default(), 16);
+        let out = s.maximize(&obj).unwrap();
+        assert!(out.optimal);
+        let _ = s.check().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.checks, 2, "maximize is a single search pass");
+        assert_eq!(
+            stats.hull_rebuilds, stats.checks,
+            "hulls must be built once per check, then maintained incrementally"
+        );
+    }
+
+    #[test]
+    fn maximize_prunes_with_incumbent_bound() {
+        let (mut s, obj) = matmul_formulation(SolverConfig::default(), 16);
+        let out = s.maximize(&obj).unwrap();
+        assert!(out.optimal);
+        assert!(
+            s.stats().bound_prunes > 0,
+            "branch-and-bound must cut subtrees that cannot beat the incumbent"
+        );
+    }
+
+    #[test]
+    fn timing_counters_partition_solve_time() {
+        let (mut s, obj) = matmul_formulation(SolverConfig::default(), 16);
+        let _ = s.maximize(&obj).unwrap();
+        let stats = s.stats();
+        assert!(stats.solve_time > Duration::ZERO);
+        assert!(stats.propagation_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn enumerate_ignores_unconstrained_auxiliary_variables() {
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 3);
+        let y = s.int_var("y", 1, 3);
+        // 1000 spectator values that no constraint mentions.
+        let _aux = s.int_var("aux", 1, 1000);
+        s.assert(x.lt(y.clone()));
+        let models = s.enumerate(10_000).unwrap();
+        // Distinct projections onto {x, y}: (1,2), (1,3), (2,3) — not
+        // 3 × 1000 cross-products with the spectator.
+        assert_eq!(models.len(), 3);
+        assert!(s.check().unwrap().model.is_some());
+    }
+
+    #[test]
+    fn enumerate_without_constraints_keeps_cross_product() {
+        let mut s = Solver::new();
+        let _x = s.int_var("x", 1, 2);
+        let _y = s.int_var("y", 1, 3);
+        let models = s.enumerate(100).unwrap();
+        assert_eq!(models.len(), 6);
+    }
+
+    #[test]
+    fn enumerate_is_anytime_under_node_budget() {
+        let mut s = Solver::with_config(SolverConfig {
+            node_limit: 40,
+            ..SolverConfig::default()
+        });
+        let x = s.int_var("x", 1, 100);
+        let y = s.int_var("y", 1, 100);
+        s.assert((x.clone() + y.clone()).ge(2));
+        let models = s.enumerate(10_000).unwrap();
+        // The budget is cumulative across the whole enumeration: some
+        // models are found, then the search stops instead of spinning
+        // through all 10^4 assignments.
+        assert!(!models.is_empty(), "anytime: partial results returned");
+        assert!(models.len() < 10_000);
+        assert!(s.stats().node_limit_hits >= 1);
+        // Blocking clauses fully popped.
+        assert!(matches!(s.pop(), Err(SolveError::PopWithoutPush)));
     }
 }

@@ -27,8 +27,23 @@ pub struct SolverStats {
     pub deadline_hits: u64,
     /// Searches stopped by a [`CancelToken`](crate::CancelToken).
     pub cancellations: u64,
+    /// Subtrees pruned because the objective's interval upper bound could
+    /// not beat the branch-and-bound incumbent.
+    pub bound_prunes: u64,
+    /// Full O(vars) hull constructions. The worklist engine builds the
+    /// hull vector exactly once per `check` and maintains it incrementally
+    /// afterwards, so this equals [`SolverStats::checks`] — the regression
+    /// tests pin that invariant so per-probe rebuilds cannot creep back in.
+    pub hull_rebuilds: u64,
     /// Wall-clock time spent inside `check`.
     pub solve_time: Duration,
+    /// Portion of [`SolverStats::solve_time`] spent filtering domains
+    /// (worklist propagation).
+    pub propagation_time: Duration,
+    /// Portion of [`SolverStats::solve_time`] spent in the search proper
+    /// (branching, bound checks, backtracking) — `solve_time` minus
+    /// propagation.
+    pub search_time: Duration,
 }
 
 impl SolverStats {
@@ -52,16 +67,22 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "checks={} nodes={} propagations={} pruned={} backtracks={} \
-             node_limit_hits={} deadline_hits={} cancellations={} time={:?}",
+             bound_prunes={} hull_rebuilds={} node_limit_hits={} \
+             deadline_hits={} cancellations={} time={:?} \
+             propagation_time={:?} search_time={:?}",
             self.checks,
             self.nodes,
             self.propagations,
             self.values_pruned,
             self.backtracks,
+            self.bound_prunes,
+            self.hull_rebuilds,
             self.node_limit_hits,
             self.deadline_hits,
             self.cancellations,
-            self.solve_time
+            self.solve_time,
+            self.propagation_time,
+            self.search_time
         )
     }
 }
@@ -97,7 +118,11 @@ mod tests {
             node_limit_hits: 6,
             deadline_hits: 7,
             cancellations: 8,
+            bound_prunes: 9,
+            hull_rebuilds: 10,
             solve_time: Duration::from_secs(1),
+            propagation_time: Duration::from_millis(600),
+            search_time: Duration::from_millis(400),
         };
         s.reset();
         assert_eq!(s, SolverStats::default());

@@ -88,6 +88,7 @@ fn fault_injected_sweep_exercises_all_provenances() {
             coarsen: false,
         }],
         fallback_to_default: true,
+        ..SweepOptions::default()
     };
     let program = mm();
 
@@ -209,6 +210,7 @@ fn exhausted_ladder_degrades_instead_of_failing() {
             coarsen: false,
         }],
         fallback_to_default: true,
+        ..SweepOptions::default()
     };
     let out = eatss
         .sweep_with(&mm(), &sizes, &[0.5], &[0.5], &opts)
