@@ -32,6 +32,15 @@ struct KernelRow {
     reference: EngineSample,
 }
 
+impl KernelRow {
+    /// The formulation has no model at all (e.g. `fdtd-apml`, whose
+    /// constraints are unsatisfiable on GA100). Both engines agree
+    /// (cross-checked below), so the fast engine's verdict suffices.
+    fn infeasible(&self) -> bool {
+        self.fast.best.is_none()
+    }
+}
+
 fn build_model(b: &eatss_kernels::Benchmark) -> Option<EatssModel> {
     let program = b.program().ok()?;
     let sizes = b.sizes(Dataset::ExtraLarge);
@@ -153,7 +162,11 @@ fn main() {
         });
     }
 
-    let total = |f: &dyn Fn(&KernelRow) -> f64| rows.iter().map(f).sum::<f64>();
+    // Aggregate ratios cover feasible kernels only: an infeasible
+    // formulation (e.g. fdtd-apml) measures refutation speed, not
+    // optimization speed, and would skew the engine comparison.
+    let feasible: Vec<&KernelRow> = rows.iter().filter(|r| !r.infeasible()).collect();
+    let total = |f: &dyn Fn(&KernelRow) -> f64| feasible.iter().map(|r| f(r)).sum::<f64>();
     let fast_nodes = total(&|r| r.fast.nodes as f64);
     let ref_nodes = total(&|r| r.reference.nodes as f64);
     let fast_wall = total(&|r| r.fast.wall_s);
@@ -165,14 +178,16 @@ fn main() {
     json.push_str("{\n  \"bench\": \"solver_core\",\n  \"mode\": ");
     let _ = write!(
         json,
-        "\"{}\",\n  \"kernels\": [\n",
-        if fast_mode { "fast" } else { "full" }
+        "\"{}\",\n  \"provenance\": {},\n  \"kernels\": [\n",
+        if fast_mode { "fast" } else { "full" },
+        eatss_trace::Provenance::collect(Some(1)).to_json()
     );
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"fast\": {}, \"reference\": {}, \"node_ratio\": {:.3}, \"wall_ratio\": {:.3}}}{}",
+            "    {{\"name\": \"{}\", \"infeasible\": {}, \"fast\": {}, \"reference\": {}, \"node_ratio\": {:.3}, \"wall_ratio\": {:.3}}}{}",
             r.name,
+            r.infeasible(),
             engine_json(&r.fast),
             engine_json(&r.reference),
             r.reference.nodes as f64 / r.fast.nodes.max(1) as f64,
@@ -182,7 +197,8 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"aggregate\": {{\"fast_nodes\": {}, \"reference_nodes\": {}, \"node_ratio\": {:.3}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}\n}}\n",
+        "  ],\n  \"aggregate\": {{\"feasible_kernels\": {}, \"fast_nodes\": {}, \"reference_nodes\": {}, \"node_ratio\": {:.3}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}\n}}\n",
+        feasible.len(),
         fast_nodes as u64,
         ref_nodes as u64,
         node_ratio,

@@ -4,6 +4,7 @@
 //! eatss <kernel.eatss | benchmark-name> [options]
 //!
 //! options:
+//!   --kernel NAME              alias for the positional input
 //!   --arch ga100|xavier        target GPU (default: ga100)
 //!   --split <0..1>             shared-memory split factor (default: 0.5)
 //!   --warp-frac <f>            warp fraction (default: 0.5)
@@ -17,6 +18,9 @@
 //!   --emit-smt                 print the SMT-LIB formulation
 //!   --emit-cuda                print the generated CUDA for the selection
 //!   --evaluate                 measure the selection on the GPU model
+//!   --trace <out.json>         record a pipeline trace (implies --evaluate)
+//!   --trace-format jsonl|chrome  trace serialization (default: chrome)
+//!   --log-level off|error|info|debug  stderr verbosity (default: info)
 //! ```
 
 use eatss::{Eatss, EatssConfig, ModelGenerator, Precision, SweepOptions, ThreadBlockCap};
@@ -26,6 +30,7 @@ use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
 use eatss_ppcg::Ppcg;
 use eatss_smt::SolverConfig;
+use eatss_trace::{Level, Provenance, TraceFormat};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -41,14 +46,19 @@ struct Options {
     emit_smt: bool,
     emit_cuda: bool,
     evaluate: bool,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+    log_level: Level,
 }
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: eatss <kernel.eatss | benchmark-name> [--arch ga100|xavier] \
-         [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
+    eatss_trace::error!(
+        "usage: eatss <kernel.eatss | benchmark-name> [--kernel NAME] \
+         [--arch ga100|xavier] [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
          [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] [--jobs N] \
-         [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate]"
+         [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate] \
+         [--trace OUT.json] [--trace-format jsonl|chrome] \
+         [--log-level off|error|info|debug]"
     );
     ExitCode::from(2)
 }
@@ -67,6 +77,9 @@ fn parse_args() -> Result<Options, String> {
         emit_smt: false,
         emit_cuda: false,
         evaluate: false,
+        trace: None,
+        trace_format: TraceFormat::Chrome,
+        log_level: Level::Info,
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -122,6 +135,24 @@ fn parse_args() -> Result<Options, String> {
             "--emit-smt" => opts.emit_smt = true,
             "--emit-cuda" => opts.emit_cuda = true,
             "--evaluate" => opts.evaluate = true,
+            "--kernel" => {
+                let name = next_value(&mut args, "--kernel")?;
+                if !opts.input.is_empty() {
+                    return Err("multiple inputs given".to_owned());
+                }
+                opts.input = name;
+            }
+            "--trace" => opts.trace = Some(next_value(&mut args, "--trace")?),
+            "--trace-format" => {
+                let text = next_value(&mut args, "--trace-format")?;
+                opts.trace_format = TraceFormat::parse(&text)
+                    .ok_or_else(|| format!("unknown trace format `{text}`"))?;
+            }
+            "--log-level" => {
+                let text = next_value(&mut args, "--log-level")?;
+                opts.log_level = Level::parse(&text)
+                    .ok_or_else(|| format!("unknown log level `{text}`"))?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -135,6 +166,11 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.input.is_empty() {
         return Err("no input kernel".to_owned());
+    }
+    // A trace should cover the whole solve -> codegen -> simulate
+    // pipeline, so tracing a plain selection implies --evaluate.
+    if opts.trace.is_some() && !opts.sweep {
+        opts.evaluate = true;
     }
     Ok(opts)
 }
@@ -158,10 +194,15 @@ fn load_program(opts: &Options) -> Result<(Program, ProblemSizes), String> {
     Ok((program, sizes))
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args()?;
-    let (program, sizes) = load_program(&opts)?;
+fn run(opts: &Options) -> Result<(), String> {
+    let (program, sizes) = load_program(opts)?;
     let eatss = Eatss::new(opts.arch.clone());
+    eatss_trace::debug!(
+        "input `{}`: {} kernel(s), arch {}",
+        program.name,
+        program.kernels.len(),
+        opts.arch.name
+    );
 
     if opts.sweep {
         let mut sweep_opts = SweepOptions {
@@ -306,10 +347,35 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eatss_trace::error!("{e}");
+            return usage();
+        }
+    };
+    eatss_trace::set_log_level(opts.log_level);
+    if opts.trace.is_some() {
+        eatss_trace::start_collecting();
+    }
+    let result = run(&opts);
+    // The trace is written even when the run failed: a trace of a failing
+    // pipeline is exactly when you want one.
+    if let Some(path) = &opts.trace {
+        let trace = eatss_trace::drain(Provenance::collect(Some(opts.jobs)));
+        match trace.write(std::path::Path::new(path), opts.trace_format) {
+            Ok(()) => eatss_trace::info!(
+                "trace: {} event(s) written to {path} ({:?})",
+                trace.events.len(),
+                opts.trace_format
+            ),
+            Err(e) => eatss_trace::error!("cannot write trace `{path}`: {e}"),
+        }
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            eatss_trace::error!("{e}");
             usage()
         }
     }

@@ -100,7 +100,19 @@ pub fn evaluate_program_with(
 ) -> Result<SimReport, EvaluateError> {
     let arch = gpu.arch();
     let ppcg = Ppcg::new(arch.clone());
-    let compiled = ppcg.compile(program, tiles, sizes, options)?;
+    let compiled = {
+        let mut stage = eatss_trace::span("pipeline", "codegen");
+        if stage.is_active() {
+            stage.arg("program", program.name.as_str());
+            stage.arg("tiles", tiles.to_string());
+        }
+        ppcg.compile(program, tiles, sizes, options)?
+    };
+    let mut stage = eatss_trace::span("pipeline", "simulate");
+    if stage.is_active() {
+        stage.arg("program", program.name.as_str());
+        stage.arg("launches", compiled.mappings.len());
+    }
     let reports: Vec<SimReport> = compiled
         .mappings
         .iter()
@@ -109,6 +121,7 @@ pub fn evaluate_program_with(
                 .map(|r| r.repeated(m.launch_count))
         })
         .collect::<Result<_, SimFault>>()?;
+    drop(stage);
     let mut combined = SimReport::sequence(&reports);
     combined.name = program.name.clone();
     // The measurement-level power ramp (§II / Fig. 1): short measurement

@@ -414,7 +414,14 @@ impl EatssModel {
     /// # Errors
     ///
     /// Same conditions as [`EatssModel::solve`].
-    pub fn solve_binary(mut self) -> Result<EatssSolution, EatssError> {
+    pub fn solve_binary(self) -> Result<EatssSolution, EatssError> {
+        let mut span = eatss_trace::span("eatss", "solve");
+        let result = self.solve_binary_impl();
+        finish_solve_span(&mut span, &result);
+        result
+    }
+
+    fn solve_binary_impl(mut self) -> Result<EatssSolution, EatssError> {
         let started = Instant::now();
         let hi = self.solver.hull_bounds(&self.objective).hi();
         let outcome = self.solver.maximize_binary(&self.objective, hi)?;
@@ -457,7 +464,14 @@ impl EatssModel {
     ///
     /// Returns [`EatssError::Unsatisfiable`] when no feasible tile
     /// assignment exists.
-    pub fn solve(mut self) -> Result<EatssSolution, EatssError> {
+    pub fn solve(self) -> Result<EatssSolution, EatssError> {
+        let mut span = eatss_trace::span("eatss", "solve");
+        let result = self.solve_impl();
+        finish_solve_span(&mut span, &result);
+        result
+    }
+
+    fn solve_impl(mut self) -> Result<EatssSolution, EatssError> {
         let started = Instant::now();
         let outcome = self.solver.maximize(&self.objective)?;
         let solve_time = started.elapsed();
@@ -492,6 +506,26 @@ impl EatssModel {
             },
             stats: self.solver.stats().clone(),
         })
+    }
+}
+
+/// Attaches the solve outcome to an `eatss.solve` span.
+fn finish_solve_span(
+    span: &mut eatss_trace::Span,
+    result: &Result<EatssSolution, EatssError>,
+) {
+    if !span.is_active() {
+        return;
+    }
+    match result {
+        Ok(solution) => {
+            span.arg("tiles", solution.tiles.to_string());
+            span.arg("objective", solution.objective);
+            span.arg("solver_calls", solution.solver_calls);
+            span.arg("optimal", solution.optimal);
+            span.arg("provenance", format!("{:?}", solution.provenance));
+        }
+        Err(e) => span.arg("error", e.to_string()),
     }
 }
 

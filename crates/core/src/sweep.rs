@@ -189,7 +189,14 @@ fn solve_with_retries(
     let mut last = EatssError::Exhausted {
         reason: "retry ladder is empty".to_owned(),
     };
-    for attempt in &options.attempts {
+    for (rung, attempt) in options.attempts.iter().enumerate() {
+        let mut span = eatss_trace::span("sweep", "solve_attempt");
+        if span.is_active() {
+            span.arg("rung", rung);
+            span.arg("node_limit", attempt.node_limit);
+            span.arg("coarsen", attempt.coarsen);
+            eatss_trace::counter_add("sweep.solve_attempts", 1);
+        }
         let result = crate::ModelGenerator::new(eatss.arch(), config.clone())
             .with_solver_config(SolverConfig {
                 node_limit: attempt.node_limit,
@@ -200,9 +207,18 @@ fn solve_with_retries(
             .build(program, Some(sizes))
             .and_then(crate::model::EatssModel::solve);
         match result {
-            Ok(solution) => return Ok(solution),
-            Err(e @ EatssError::Exhausted { .. }) => last = e,
-            Err(definitive) => return Err(definitive),
+            Ok(solution) => {
+                span.arg("outcome", "solved");
+                return Ok(solution);
+            }
+            Err(e @ EatssError::Exhausted { .. }) => {
+                span.arg("outcome", "exhausted");
+                last = e;
+            }
+            Err(definitive) => {
+                span.arg("outcome", "definitive_error");
+                return Err(definitive);
+            }
         }
     }
     Err(last)
@@ -226,7 +242,20 @@ fn process_point(
     sizes: &ProblemSizes,
     config: EatssConfig,
     options: &SweepOptions,
+    index: usize,
 ) -> Result<PointContribution, PipelineError> {
+    // Events for point `i` go to lane `i + 1` (lane 0 is the control
+    // lane), so parallel and sequential sweeps drain to the same
+    // canonically ordered event stream.
+    let _lane = eatss_trace::lane_scope(index as u64 + 1);
+    let mut span = eatss_trace::span("sweep", "point");
+    if span.is_active() {
+        span.arg("index", index);
+        span.arg("split", config.split_factor);
+        span.arg("warp_fraction", config.warp_fraction);
+        span.arg("cap", format!("{:?}", config.cap));
+        eatss_trace::counter_add("sweep.points", 1);
+    }
     let context = format!(
         "{} @ split={} wfrac={} cap={:?}",
         program.name, config.split_factor, config.warp_fraction, config.cap
@@ -236,10 +265,21 @@ fn process_point(
     let solved = match solve_with_retries(eatss, program, sizes, &config, options) {
         Ok(solution) => Some(solution),
         Err(e @ (EatssError::Unsatisfiable { .. } | EatssError::Exhausted { .. })) => {
+            if eatss_trace::collecting() {
+                eatss_trace::counter_add("sweep.infeasible", 1);
+                eatss_trace::instant(
+                    "sweep",
+                    "infeasible",
+                    vec![("reason", eatss_trace::ArgValue::Str(e.to_string()))],
+                );
+            }
             infeasible = Some((config.clone(), e.to_string()));
             None
         }
-        Err(systemic) => return Err(PipelineError::from_eatss(systemic, context)),
+        Err(systemic) => {
+            span.arg("error", systemic.to_string());
+            return Err(PipelineError::from_eatss(systemic, context));
+        }
     };
     // Measure the solved tiles; degrade to the default tiling when there
     // are none or their measurement fails.
@@ -248,6 +288,7 @@ fn process_point(
         match eatss.evaluate(program, &solution.tiles, sizes, &config) {
             Ok(report) => measured = Some((solution, report)),
             Err(e) => {
+                record_measure_failure(&e.to_string(), false);
                 failures.push((
                     config.clone(),
                     PipelineError::from_evaluate(e, context.clone()),
@@ -256,15 +297,30 @@ fn process_point(
         }
     }
     if measured.is_none() && options.fallback_to_default {
+        if eatss_trace::collecting() {
+            eatss_trace::counter_add("sweep.fallbacks", 1);
+            eatss_trace::instant("sweep", "fallback", Vec::new());
+        }
         let fallback = EatssSolution::ppcg_default(program.max_depth());
         match eatss.evaluate(program, &fallback.tiles, sizes, &config) {
             Ok(report) => measured = Some((fallback, report)),
             Err(e) => {
+                record_measure_failure(&e.to_string(), true);
                 failures.push((
                     config.clone(),
                     PipelineError::from_evaluate(e, format!("{context} [fallback]")),
                 ));
             }
+        }
+    }
+    if span.is_active() {
+        match &measured {
+            Some((solution, report)) => {
+                span.arg("provenance", format!("{:?}", solution.provenance));
+                span.arg("tiles", solution.tiles.to_string());
+                span.arg("valid", report.valid);
+            }
+            None => span.arg("provenance", "unmeasured"),
         }
     }
     Ok(PointContribution {
@@ -276,6 +332,21 @@ fn process_point(
         infeasible,
         failures,
     })
+}
+
+/// Records a measurement failure in the trace (no-op when disabled).
+fn record_measure_failure(reason: &str, fallback: bool) {
+    if eatss_trace::collecting() {
+        eatss_trace::counter_add("sweep.measure_failures", 1);
+        eatss_trace::instant(
+            "sweep",
+            "measure_failed",
+            vec![
+                ("reason", eatss_trace::ArgValue::Str(reason.to_string())),
+                ("fallback", eatss_trace::ArgValue::Bool(fallback)),
+            ],
+        );
+    }
 }
 
 /// Runs the sweep under an explicit degradation policy.
@@ -319,11 +390,18 @@ pub fn run_with(
         0 => std::thread::available_parallelism().map_or(1, usize::from),
         n => n,
     };
+    let mut span = eatss_trace::span("sweep", "run");
+    if span.is_active() {
+        span.arg("program", program.name.as_str());
+        span.arg("configs", attempted);
+        span.arg("jobs", jobs);
+    }
     let contributions: Vec<Result<PointContribution, PipelineError>> =
         if jobs <= 1 || configs.len() <= 1 {
             configs
                 .into_iter()
-                .map(|config| process_point(eatss, program, sizes, config, options))
+                .enumerate()
+                .map(|(i, config)| process_point(eatss, program, sizes, config, options, i))
                 .collect()
         } else {
             run_parallel(eatss, program, sizes, configs, options, jobs)
@@ -338,6 +416,11 @@ pub fn run_with(
         points.extend(c.point);
         infeasible.extend(c.infeasible);
         failures.extend(c.failures);
+    }
+    if span.is_active() {
+        span.arg("points", points.len());
+        span.arg("infeasible", infeasible.len());
+        span.arg("failures", failures.len());
     }
     if points.is_empty() {
         return Err(PipelineError::NoMeasurablePoint {
@@ -376,7 +459,7 @@ fn run_parallel(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(config) = configs.get(i) else { break };
-                let result = process_point(eatss, program, sizes, config.clone(), options);
+                let result = process_point(eatss, program, sizes, config.clone(), options, i);
                 *slots[i].lock().expect("slot poisoned") = Some(result);
             });
         }

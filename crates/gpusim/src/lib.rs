@@ -122,10 +122,30 @@ impl Gpu {
     /// [`FaultKind::LaunchFailure`] for this launch. The other fault
     /// kinds corrupt the report instead of failing the call.
     pub fn try_simulate(&self, spec: &KernelExecSpec) -> Result<SimReport, SimFault> {
+        let mut span = eatss_trace::span("sim", "launch");
+        if span.is_active() {
+            span.arg("kernel", spec.name.as_str());
+            span.arg("grid_blocks", spec.grid_blocks);
+            span.arg("threads_per_block", spec.threads_per_block);
+        }
         let injected = self
             .fault_plan
             .as_ref()
             .and_then(|plan| plan.fault_for(spec));
+        if let Some(kind) = injected {
+            if eatss_trace::collecting() {
+                eatss_trace::counter_add("sim.faults_injected", 1);
+                eatss_trace::instant(
+                    "sim",
+                    "fault",
+                    vec![
+                        ("kind", eatss_trace::ArgValue::Str(format!("{kind:?}"))),
+                        ("kernel", eatss_trace::ArgValue::Str(spec.name.clone())),
+                    ],
+                );
+                span.arg("fault", format!("{kind:?}"));
+            }
+        }
         match injected {
             Some(FaultKind::LaunchFailure) => {
                 return Err(SimFault {
@@ -141,7 +161,12 @@ impl Gpu {
             }
             None => {}
         }
-        Ok(self.simulate_clean(spec))
+        let report = self.simulate_clean(spec);
+        if span.is_active() {
+            span.arg("time_us", report.time_s * 1e6);
+            span.arg("avg_power_w", report.avg_power_w);
+        }
+        Ok(report)
     }
 
     /// Simulates one kernel launch. Injected launch failures degrade to
@@ -152,9 +177,19 @@ impl Gpu {
     }
 
     fn simulate_clean(&self, spec: &KernelExecSpec) -> SimReport {
-        let occ = occupancy::occupancy(&self.arch, spec);
-        let traffic = traffic::model(&self.arch, spec, &occ);
-        let timing = timing::model(&self.arch, spec, &occ, &traffic);
+        let occ = {
+            let _stage = eatss_trace::span("sim", "occupancy");
+            occupancy::occupancy(&self.arch, spec)
+        };
+        let traffic = {
+            let _stage = eatss_trace::span("sim", "traffic");
+            traffic::model(&self.arch, spec, &occ)
+        };
+        let timing = {
+            let _stage = eatss_trace::span("sim", "timing");
+            timing::model(&self.arch, spec, &occ, &traffic)
+        };
+        let _stage = eatss_trace::span("sim", "power");
         power::finish(&self.arch, spec, &occ, &traffic, timing)
     }
 

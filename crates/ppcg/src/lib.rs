@@ -100,6 +100,12 @@ impl Ppcg {
         sizes: &ProblemSizes,
         options: &CompileOptions,
     ) -> Result<CompiledProgram, CompileError> {
+        let mut span = eatss_trace::span("ppcg", "compile");
+        if span.is_active() {
+            span.arg("program", program.name.as_str());
+            span.arg("tiles", tiles.to_string());
+            span.arg("kernels", program.kernels.len());
+        }
         let mut specs = Vec::with_capacity(program.kernels.len());
         let mut mappings = Vec::with_capacity(program.kernels.len());
         let mut cuda = codegen::program_header(&program.name, tiles);
@@ -112,12 +118,30 @@ impl Ppcg {
                 });
             }
             let ktiles = tiles.truncated(kernel.depth());
-            let mapping = GpuMapping::compute(kernel, &ktiles, &self.arch, sizes, options)?;
-            cuda.push_str(&codegen::emit_kernel(kernel, &mapping));
+            let mapping = {
+                let mut stage = eatss_trace::span("ppcg", "map");
+                if stage.is_active() {
+                    stage.arg("kernel", kernel.name.as_str());
+                }
+                GpuMapping::compute(kernel, &ktiles, &self.arch, sizes, options)?
+            };
+            {
+                let mut stage = eatss_trace::span("ppcg", "codegen");
+                if stage.is_active() {
+                    stage.arg("kernel", kernel.name.as_str());
+                }
+                cuda.push_str(&codegen::emit_kernel(kernel, &mapping));
+            }
             specs.push(mapping.to_exec_spec());
             mappings.push(mapping);
         }
-        cuda.push_str(&hostgen::emit_host(program, &mappings, sizes));
+        {
+            let _stage = eatss_trace::span("ppcg", "hostgen");
+            cuda.push_str(&hostgen::emit_host(program, &mappings, sizes));
+        }
+        if span.is_active() {
+            span.arg("cuda_bytes", cuda.len());
+        }
         Ok(CompiledProgram {
             specs,
             mappings,

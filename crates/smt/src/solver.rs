@@ -355,11 +355,14 @@ impl Solver {
         mode: SearchMode<'_>,
     ) -> Result<SolveResult, SolveError> {
         self.validate()?;
+        let mut span = eatss_trace::span("smt", "check");
+        let stats_before = if span.is_active() { Some(self.stats.clone()) } else { None };
         let started = Instant::now();
         self.stats.checks += 1;
         if let Some(reason) = budget_stop(deadline_at, self.config.cancel.as_ref()) {
             self.record_stop(reason);
             self.stats.solve_time += started.elapsed();
+            finish_solver_span(&mut span, stats_before.as_ref(), &self.stats, Some(reason), false);
             return Ok(SolveResult {
                 model: None,
                 complete: false,
@@ -392,6 +395,7 @@ impl Solver {
             .propagation_time
             .saturating_sub(propagation_before);
         self.stats.search_time += elapsed.saturating_sub(propagation_delta);
+        finish_solver_span(&mut span, stats_before.as_ref(), &self.stats, stop, model.is_some());
         Ok(SolveResult {
             model,
             complete: stop.is_none(),
@@ -427,12 +431,15 @@ impl Solver {
     /// Propagates [`Solver::check`] errors.
     pub fn maximize(&mut self, objective: &IntExpr) -> Result<MaximizeOutcome, SolveError> {
         self.validate()?;
+        let mut span = eatss_trace::span("smt", "maximize");
+        let stats_before = if span.is_active() { Some(self.stats.clone()) } else { None };
         let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
         let started = Instant::now();
         self.stats.checks += 1;
         if let Some(reason) = budget_stop(deadline_at, self.config.cancel.as_ref()) {
             self.record_stop(reason);
             self.stats.solve_time += started.elapsed();
+            finish_solver_span(&mut span, stats_before.as_ref(), &self.stats, Some(reason), false);
             return Ok(MaximizeOutcome {
                 model: None,
                 best: None,
@@ -476,6 +483,13 @@ impl Solver {
             Some((v, values)) => (Some(v), Some(Model::new(values, self.names.clone()))),
             None => (None, None),
         };
+        finish_solver_span(&mut span, stats_before.as_ref(), &self.stats, stop, model.is_some());
+        if span.is_active() {
+            if let Some(v) = best_value {
+                span.arg("best", v);
+            }
+            span.arg("solver_calls", improvements + 1);
+        }
         Ok(MaximizeOutcome {
             model,
             best: best_value,
@@ -506,12 +520,17 @@ impl Solver {
         objective: &IntExpr,
         hi: i64,
     ) -> Result<MaximizeOutcome, SolveError> {
+        // The inner `check` calls carry the counter deltas into the
+        // registry; this outer span only groups the probes.
+        let mut span = eatss_trace::span("smt", "maximize_binary");
         let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
         let mut calls = 0u32;
         // First find any model to anchor the lower bound.
         let first = self.check_inner(deadline_at, self.config.node_limit, SearchMode::Satisfy)?;
         calls += 1;
         let Some(first_model) = first.model else {
+            span.arg("solver_calls", calls);
+            span.arg("sat", false);
             return Ok(MaximizeOutcome {
                 model: None,
                 best: None,
@@ -558,6 +577,9 @@ impl Solver {
                 }
             }
         }
+        span.arg("solver_calls", calls);
+        span.arg("sat", true);
+        span.arg("best", best_value);
         Ok(MaximizeOutcome {
             model: Some(best_model),
             best: Some(best_value),
@@ -643,6 +665,35 @@ impl Solver {
         }
         self.pop()?;
         Ok(models)
+    }
+}
+
+/// Attaches the per-call [`SolverStats`] delta to a solver span and flows
+/// it into the trace metrics registry. `before` is `None` (and everything
+/// is skipped) when the span was created with collection disabled, so the
+/// untraced hot path pays nothing beyond one atomic load.
+fn finish_solver_span(
+    span: &mut eatss_trace::Span,
+    before: Option<&SolverStats>,
+    after: &SolverStats,
+    stop: Option<StopReason>,
+    sat: bool,
+) {
+    let Some(before) = before else { return };
+    let delta = after.delta_since(before);
+    delta.flow_to_registry();
+    span.arg("nodes", delta.nodes);
+    span.arg("propagations", delta.propagations);
+    span.arg("values_pruned", delta.values_pruned);
+    span.arg("backtracks", delta.backtracks);
+    span.arg("bound_prunes", delta.bound_prunes);
+    span.arg("hull_rebuilds", delta.hull_rebuilds);
+    span.arg("propagation_us", delta.propagation_time.as_micros() as u64);
+    span.arg("search_us", delta.search_time.as_micros() as u64);
+    span.arg("sat", sat);
+    span.arg("complete", stop.is_none());
+    if let Some(reason) = stop {
+        span.arg("stop", reason.to_string());
     }
 }
 

@@ -52,6 +52,53 @@ impl SolverStats {
         *self = SolverStats::default();
     }
 
+    /// The change since an `earlier` snapshot of the same stats object
+    /// (all counters are monotonic, so fieldwise subtraction is exact).
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            checks: self.checks.saturating_sub(earlier.checks),
+            nodes: self.nodes.saturating_sub(earlier.nodes),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            values_pruned: self.values_pruned.saturating_sub(earlier.values_pruned),
+            backtracks: self.backtracks.saturating_sub(earlier.backtracks),
+            node_limit_hits: self.node_limit_hits.saturating_sub(earlier.node_limit_hits),
+            deadline_hits: self.deadline_hits.saturating_sub(earlier.deadline_hits),
+            cancellations: self.cancellations.saturating_sub(earlier.cancellations),
+            bound_prunes: self.bound_prunes.saturating_sub(earlier.bound_prunes),
+            hull_rebuilds: self.hull_rebuilds.saturating_sub(earlier.hull_rebuilds),
+            solve_time: self.solve_time.saturating_sub(earlier.solve_time),
+            propagation_time: self.propagation_time.saturating_sub(earlier.propagation_time),
+            search_time: self.search_time.saturating_sub(earlier.search_time),
+        }
+    }
+
+    /// Adds these counters to the `eatss-trace` metrics registry under
+    /// `smt.*` names. Called with per-`check` deltas by the instrumented
+    /// solver entry points, so at the end of a trace session the registry
+    /// totals equal the accumulated `SolverStats` (the trace tests pin
+    /// this). No-op while trace collection is disabled.
+    pub fn flow_to_registry(&self) {
+        if !eatss_trace::collecting() {
+            return;
+        }
+        eatss_trace::counter_add("smt.checks", self.checks);
+        eatss_trace::counter_add("smt.nodes", self.nodes);
+        eatss_trace::counter_add("smt.propagations", self.propagations);
+        eatss_trace::counter_add("smt.values_pruned", self.values_pruned);
+        eatss_trace::counter_add("smt.backtracks", self.backtracks);
+        eatss_trace::counter_add("smt.node_limit_hits", self.node_limit_hits);
+        eatss_trace::counter_add("smt.deadline_hits", self.deadline_hits);
+        eatss_trace::counter_add("smt.cancellations", self.cancellations);
+        eatss_trace::counter_add("smt.bound_prunes", self.bound_prunes);
+        eatss_trace::counter_add("smt.hull_rebuilds", self.hull_rebuilds);
+        eatss_trace::counter_add("smt.solve_time_us", self.solve_time.as_micros() as u64);
+        eatss_trace::counter_add(
+            "smt.propagation_time_us",
+            self.propagation_time.as_micros() as u64,
+        );
+        eatss_trace::counter_add("smt.search_time_us", self.search_time.as_micros() as u64);
+    }
+
     /// Mean time per `check` call, or zero if none were made.
     pub fn mean_check_time(&self) -> Duration {
         if self.checks == 0 {

@@ -1,0 +1,167 @@
+//! `trace_check` — validates an emitted trace file. Used by the CI trace
+//! smoke job and handy when hacking on the sinks.
+//!
+//! ```text
+//! trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]...
+//! ```
+//!
+//! For `chrome` (the default) the file must parse as JSON, contain a
+//! non-empty `traceEvents` array of well-formed `trace_events` entries,
+//! and — for each `--expect CAT:NAME` — contain at least one complete
+//! (`"X"`) span with that category and name. For `jsonl` every line must
+//! parse and the first must be a header carrying provenance.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use eatss_trace::json::Json;
+use eatss_trace::TraceFormat;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("trace_check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let mut file = None;
+    let mut format = TraceFormat::Chrome;
+    let mut expects: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = argv.next().ok_or("--format needs a value")?;
+                format = TraceFormat::parse(&value)
+                    .ok_or_else(|| format!("unknown format '{value}' (jsonl|chrome)"))?;
+            }
+            "--expect" => expects.push(argv.next().ok_or("--expect needs CAT:NAME")?),
+            "--help" | "-h" => {
+                return Ok(
+                    "usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]..."
+                        .to_string(),
+                )
+            }
+            _ if file.is_none() => file = Some(arg),
+            _ => return Err(format!("unexpected argument '{arg}'")),
+        }
+    }
+    let file = file.ok_or("usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]...")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file}: {e}"))?;
+    match format {
+        TraceFormat::Chrome => check_chrome(&text, &expects),
+        TraceFormat::Jsonl => check_jsonl(&text, &expects),
+    }
+}
+
+fn check_chrome(text: &str, expects: &[String]) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    doc.get("otherData")
+        .and_then(|d| d.get("provenance"))
+        .and_then(|p| p.get("git_sha"))
+        .and_then(Json::as_str)
+        .ok_or("missing otherData.provenance.git_sha")?;
+    let mut spans: BTreeSet<String> = BTreeSet::new();
+    let mut span_count = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} ({name}): missing ph"))?;
+        match ph {
+            "X" => {
+                let cat = event
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i} ({name}): X without cat"))?;
+                event
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): X without ts"))?;
+                event
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): X without dur"))?;
+                spans.insert(format!("{cat}:{name}"));
+                span_count += 1;
+            }
+            "i" | "M" | "C" => {}
+            other => return Err(format!("event {i} ({name}): unexpected ph '{other}'")),
+        }
+    }
+    check_expects(expects, &spans)?;
+    Ok(format!(
+        "ok: {} trace events, {span_count} spans ({} distinct)",
+        events.len(),
+        spans.len()
+    ))
+}
+
+fn check_jsonl(text: &str, expects: &[String]) -> Result<String, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty file")?;
+    let header = Json::parse(header).map_err(|e| format!("invalid header: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("header") {
+        return Err("first line is not a header".to_string());
+    }
+    header
+        .get("provenance")
+        .and_then(|p| p.get("git_sha"))
+        .and_then(Json::as_str)
+        .ok_or("header missing provenance.git_sha")?;
+    let mut spans: BTreeSet<String> = BTreeSet::new();
+    let mut count = 0usize;
+    for (i, line) in lines.enumerate() {
+        let event = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        if event.get("type").and_then(Json::as_str) != Some("event") {
+            return Err(format!("line {}: not an event", i + 2));
+        }
+        let cat = event
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing cat", i + 2))?;
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing name", i + 2))?;
+        if event.get("ph").and_then(Json::as_str) == Some("E") {
+            spans.insert(format!("{cat}:{name}"));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no events after header".to_string());
+    }
+    check_expects(expects, &spans)?;
+    Ok(format!("ok: {count} events, {} distinct spans", spans.len()))
+}
+
+fn check_expects(expects: &[String], spans: &BTreeSet<String>) -> Result<(), String> {
+    for expect in expects {
+        if !spans.contains(expect) {
+            return Err(format!(
+                "expected span '{expect}' not found; present: {}",
+                spans.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    Ok(())
+}

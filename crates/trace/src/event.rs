@@ -1,0 +1,127 @@
+//! The event model: everything the collector records is an [`Event`].
+
+use crate::Level;
+
+/// A typed argument value attached to spans and instant events.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer (counters, deltas, indices).
+    Int(i64),
+    /// Floating-point (times, ratios, objective values).
+    Float(f64),
+    /// Free-form text (kernel names, provenance labels).
+    Str(String),
+    /// Boolean flags (optimal, fallback, valid).
+    Bool(bool),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<i32> for ArgValue {
+    fn from(v: i32) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What kind of event this is. Span begin/end pairs share an `id`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened. `parent` is the id of the enclosing span on the
+    /// opening thread, or 0 at the root.
+    Begin {
+        /// Unique (per session) span id.
+        id: u64,
+        /// Enclosing span id, 0 if none.
+        parent: u64,
+    },
+    /// A span closed. Carries the measured duration; the matching `Begin`
+    /// has the same `id`.
+    End {
+        /// Id of the span being closed.
+        id: u64,
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+    },
+    /// A point-in-time event (fault injection, fallback, log line).
+    Instant {
+        /// Severity/verbosity classification.
+        level: Level,
+    },
+}
+
+impl EventKind {
+    /// One-letter phase code used by both sinks (`B`/`E`/`I`), matching
+    /// Chrome `trace_events` nomenclature.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EventKind::Begin { .. } => "B",
+            EventKind::End { .. } => "E",
+            EventKind::Instant { .. } => "I",
+        }
+    }
+}
+
+/// One recorded observation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Global monotonic sequence number (allocation order).
+    pub seq: u64,
+    /// Canonical merge lane: 0 = main/control, `i + 1` = sweep point `i`.
+    pub lane: u64,
+    /// Microseconds since the collection epoch.
+    pub ts_us: u64,
+    /// Category (crate/subsystem): `smt`, `sweep`, `sim`, `ppcg`, …
+    pub cat: &'static str,
+    /// Event name within the category.
+    pub name: String,
+    /// Typed key/value payload.
+    pub args: Vec<(&'static str, ArgValue)>,
+    /// Begin/End/Instant discriminator.
+    pub kind: EventKind,
+}

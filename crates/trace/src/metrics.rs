@@ -1,0 +1,64 @@
+//! Global metrics registry: named monotonic counters and last-write
+//! gauges. `BTreeMap` keys give every snapshot a canonical order, so
+//! registry contents are deterministic even under parallel sweeps
+//! (counter addition commutes; gauges are only written from deterministic
+//! single-writer sites).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Adds `delta` to the named counter. No-op while collection is disabled
+/// (the registry belongs to the active trace session).
+pub fn counter_add(name: &str, delta: u64) {
+    if delta == 0 || !crate::collecting() {
+        return;
+    }
+    *COUNTERS.lock().unwrap().entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to `value`. No-op while collection is disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::collecting() {
+        return;
+    }
+    GAUGES.lock().unwrap().insert(name.to_string(), value);
+}
+
+/// A point-in-time copy of the registry, in canonical (sorted) key order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters (`smt.nodes`, `sweep.fallbacks`, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauges.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, treating "never incremented" as 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Copies the current registry contents without resetting them.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: COUNTERS.lock().unwrap().clone(),
+        gauges: GAUGES.lock().unwrap().clone(),
+    }
+}
+
+pub(crate) fn snapshot_and_reset() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: std::mem::take(&mut *COUNTERS.lock().unwrap()),
+        gauges: std::mem::take(&mut *GAUGES.lock().unwrap()),
+    }
+}
+
+pub(crate) fn reset() {
+    COUNTERS.lock().unwrap().clear();
+    GAUGES.lock().unwrap().clear();
+}
