@@ -78,6 +78,12 @@ pub struct RefGroup {
     /// Whether the group can be accessed with coalesced memory accesses
     /// along the selected CMA loop.
     pub cma_capable: bool,
+    /// `(min, max)` constant offset of the fastest-varying subscript over
+    /// all members. Members of one group may differ *only* in that offset
+    /// (same cache line), so this span is exactly how much wider than the
+    /// representative's footprint the group's true per-step access box is
+    /// — e.g. `A[i][j-1]`, `A[i][j]`, `A[i][j+1]` give `(-1, 1)`.
+    pub fastest_offsets: (i64, i64),
 }
 
 impl RefGroup {
@@ -240,10 +246,13 @@ fn collect_groups(kernel: &Kernel) -> Vec<RefGroup> {
     let mut groups: Vec<RefGroup> = Vec::new();
     let mut add = |r: &ArrayRef, written: bool, accumulated: bool| {
         let key = key_of(r);
+        let fast_off = r.fastest_subscript().map(|s| s.offset()).unwrap_or(0);
         if let Some(i) = keys.iter().position(|k| *k == key) {
             groups[i].members += 1;
             groups[i].is_written |= written;
             groups[i].is_accumulated |= accumulated;
+            let (lo, hi) = groups[i].fastest_offsets;
+            groups[i].fastest_offsets = (lo.min(fast_off), hi.max(fast_off));
         } else {
             keys.push(key);
             groups.push(RefGroup {
@@ -256,6 +265,7 @@ fn collect_groups(kernel: &Kernel) -> Vec<RefGroup> {
                 used_dims: r.used_dims(),
                 memory: MemoryKind::L1, // refined by the caller
                 cma_capable: false,     // refined by the caller
+                fastest_offsets: (fast_off, fast_off),
             });
         }
     };
@@ -368,6 +378,13 @@ mod tests {
             .find(|g| g.array == "A" && g.members == 3)
             .expect("merged center group");
         assert_eq!(a_center.stride1_dim, Some(1));
+        assert_eq!(
+            a_center.fastest_offsets,
+            (-1, 1),
+            "merged group spans the j-1..j+1 halo"
+        );
+        let b = a.groups.iter().find(|g| g.array == "B").unwrap();
+        assert_eq!(b.fastest_offsets, (0, 0));
     }
 
     #[test]

@@ -152,6 +152,11 @@ impl Store {
         self.arrays.get(name)
     }
 
+    /// Iterates over `(name, array)` pairs in name order.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, &Array)> {
+        self.arrays.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Pre-allocates every array a program touches (zeros), sizing each
     /// subscript by the maximum trip count of the dims it uses plus the
     /// halo offsets. Scalars (no subscripts) become 1-element arrays.
@@ -205,16 +210,30 @@ impl Store {
     }
 }
 
-fn eval_rhs(e: &RhsExpr, stmt: &Statement, store: &Store, point: &[i64]) -> f64 {
+/// A read interception hook: receives the reference being read and its
+/// evaluated subscript indices (empty for scalars) and may override the
+/// value that would be read from the store. Returning `None` falls through
+/// to the ordinary store read. Used by external executors (e.g. the
+/// `eatss-ppcg` GPU emulator) to route reads through staged
+/// shared-memory buffers.
+pub type ReadHook<'a> = dyn FnMut(&ArrayRef, &[i64]) -> Option<f64> + 'a;
+
+fn eval_rhs(
+    e: &RhsExpr,
+    stmt: &Statement,
+    store: &Store,
+    point: &[i64],
+    hook: &mut ReadHook<'_>,
+) -> f64 {
     match e {
         RhsExpr::Num(v) => *v,
         RhsExpr::Ref(i) => {
             let r = &stmt.reads[*i];
-            read_ref(r, store, point)
+            read_ref(r, store, point, hook)
         }
         RhsExpr::Bin(op, a, b) => {
-            let x = eval_rhs(a, stmt, store, point);
-            let y = eval_rhs(b, stmt, store, point);
+            let x = eval_rhs(a, stmt, store, point, hook);
+            let y = eval_rhs(b, stmt, store, point, hook);
             match op {
                 '+' => x + y,
                 '-' => x - y,
@@ -223,11 +242,15 @@ fn eval_rhs(e: &RhsExpr, stmt: &Statement, store: &Store, point: &[i64]) -> f64 
                 _ => f64::NAN,
             }
         }
-        RhsExpr::Neg(a) => -eval_rhs(a, stmt, store, point),
+        RhsExpr::Neg(a) => -eval_rhs(a, stmt, store, point, hook),
     }
 }
 
-fn read_ref(r: &ArrayRef, store: &Store, point: &[i64]) -> f64 {
+fn read_ref(r: &ArrayRef, store: &Store, point: &[i64], hook: &mut ReadHook<'_>) -> f64 {
+    let idx: Vec<i64> = r.subscripts.iter().map(|s| s.eval(point)).collect();
+    if let Some(v) = hook(r, &idx) {
+        return v;
+    }
     let array = match store.get(&r.array) {
         Some(a) => a,
         None => return 0.0,
@@ -235,13 +258,29 @@ fn read_ref(r: &ArrayRef, store: &Store, point: &[i64]) -> f64 {
     if r.subscripts.is_empty() {
         return array.get(&[0]);
     }
-    let idx: Vec<i64> = r.subscripts.iter().map(|s| s.eval(point)).collect();
     array.get(&idx)
 }
 
-fn exec_point(kernel: &Kernel, store: &mut Store, point: &[i64]) {
+/// Executes every statement of `kernel` at one iteration point, in textual
+/// order, over the store. This is the per-point semantics shared by all
+/// execution orders ([`run_kernel`], [`run_kernel_tiled`], and external
+/// executors such as the GPU emulator in `eatss-ppcg`).
+pub fn exec_point(kernel: &Kernel, store: &mut Store, point: &[i64]) {
+    exec_point_hooked(kernel, store, point, &mut |_, _| None);
+}
+
+/// Like [`exec_point`], but right-hand-side reads are first offered to
+/// `hook` (see [`ReadHook`]). The implicit read of an accumulation target
+/// (`+=`) always goes to the store: accumulated references live in
+/// L1/registers on the GPU, never in staged shared memory.
+pub fn exec_point_hooked(
+    kernel: &Kernel,
+    store: &mut Store,
+    point: &[i64],
+    hook: &mut ReadHook<'_>,
+) {
     for stmt in &kernel.stmts {
-        let value = eval_rhs(&stmt.rhs, stmt, store, point);
+        let value = eval_rhs(&stmt.rhs, stmt, store, point, hook);
         let idx: Vec<i64> = if stmt.write.subscripts.is_empty() {
             vec![0]
         } else {
@@ -258,6 +297,73 @@ fn exec_point(kernel: &Kernel, store: &mut Store, point: &[i64]) {
             array.set(&idx, value);
         }
     }
+}
+
+/// One element-wise disagreement between two stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMismatch {
+    /// Array name.
+    pub array: String,
+    /// Multi-index of the disagreeing element (empty when the array is
+    /// missing or shaped differently in `got`).
+    pub index: Vec<i64>,
+    /// Value in the store under test (NaN when the array is missing).
+    pub got: f64,
+    /// Value in the reference store.
+    pub want: f64,
+}
+
+impl fmt::Display for StoreMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        for i in &self.index {
+            write!(f, "[{i}]")?;
+        }
+        write!(f, ": got {}, want {}", self.got, self.want)
+    }
+}
+
+/// Compares `got` against the reference store `want`, element by element
+/// and bit for bit (two NaNs count as equal). Every array of `want` must
+/// exist in `got` with the same extents; arrays only present in `got` are
+/// ignored. Returns all mismatches, in array-name then row-major order.
+pub fn compare_stores(got: &Store, want: &Store) -> Vec<StoreMismatch> {
+    let mut out = Vec::new();
+    for (name, want_arr) in want.arrays() {
+        let got_arr = match got.get(name) {
+            Some(a) if a.extents() == want_arr.extents() => a,
+            _ => {
+                out.push(StoreMismatch {
+                    array: name.to_owned(),
+                    index: Vec::new(),
+                    got: f64::NAN,
+                    want: f64::NAN,
+                });
+                continue;
+            }
+        };
+        for (flat, (&g, &w)) in got_arr.data().iter().zip(want_arr.data()).enumerate() {
+            let equal = g == w || (g.is_nan() && w.is_nan());
+            if !equal {
+                out.push(StoreMismatch {
+                    array: name.to_owned(),
+                    index: unflatten(flat as i64, want_arr.extents()),
+                    got: g,
+                    want: w,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn unflatten(mut flat: i64, extents: &[i64]) -> Vec<i64> {
+    let mut idx = vec![0i64; extents.len()];
+    for (d, &e) in extents.iter().enumerate().rev() {
+        idx[d] = flat % e;
+        flat /= e;
+    }
+    idx
 }
 
 /// Executes a whole program in source order over the store.

@@ -18,6 +18,8 @@
 //!   --emit-smt                 print the SMT-LIB formulation
 //!   --emit-cuda                print the generated CUDA for the selection
 //!   --evaluate                 measure the selection on the GPU model
+//!   --verify                   check the selection with the execution oracle
+//!   --verify-seed <N>          oracle input seed (default: 0xEA755)
 //!   --trace <out.json>         record a pipeline trace (implies --evaluate)
 //!   --trace-format jsonl|chrome  trace serialization (default: chrome)
 //!   --log-level off|error|info|debug  stderr verbosity (default: info)
@@ -46,6 +48,8 @@ struct Options {
     emit_smt: bool,
     emit_cuda: bool,
     evaluate: bool,
+    verify: bool,
+    verify_seed: u64,
     trace: Option<String>,
     trace_format: TraceFormat,
     log_level: Level,
@@ -57,6 +61,7 @@ fn usage() -> ExitCode {
          [--arch ga100|xavier] [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
          [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] [--jobs N] \
          [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate] \
+         [--verify] [--verify-seed N] \
          [--trace OUT.json] [--trace-format jsonl|chrome] \
          [--log-level off|error|info|debug]"
     );
@@ -77,6 +82,8 @@ fn parse_args() -> Result<Options, String> {
         emit_smt: false,
         emit_cuda: false,
         evaluate: false,
+        verify: false,
+        verify_seed: 0xEA755,
         trace: None,
         trace_format: TraceFormat::Chrome,
         log_level: Level::Info,
@@ -135,6 +142,12 @@ fn parse_args() -> Result<Options, String> {
             "--emit-smt" => opts.emit_smt = true,
             "--emit-cuda" => opts.emit_cuda = true,
             "--evaluate" => opts.evaluate = true,
+            "--verify" => opts.verify = true,
+            "--verify-seed" => {
+                opts.verify_seed = next_value(&mut args, "--verify-seed")?
+                    .parse()
+                    .map_err(|e| format!("--verify-seed: {e}"))?;
+            }
             "--kernel" => {
                 let name = next_value(&mut args, "--kernel")?;
                 if !opts.input.is_empty() {
@@ -318,6 +331,44 @@ fn run(opts: &Options) -> Result<(), String> {
             )
             .map_err(|e| e.to_string())?;
         println!("\n{}", compiled.cuda_source);
+    }
+
+    if opts.verify {
+        // Differential oracle: emulate the compiled GPU execution on
+        // shrunk sizes and compare element-wise against the interpreter,
+        // for both the selected tiles and the PPCG default.
+        let small = eatss_ppcg::verify_sizes(&program, &sizes, 19, 3);
+        let oracle_opts = eatss_ppcg::OracleOptions {
+            compile: opts.config.compile_options(&opts.arch),
+            ..eatss_ppcg::OracleOptions::default()
+        };
+        let configs = [
+            ("EATSS", solution.tiles.clone()),
+            ("32^d", TileConfig::ppcg_default(program.max_depth())),
+        ];
+        for (label, tiles) in &configs {
+            match eatss_ppcg::verify(
+                &program,
+                tiles,
+                &opts.arch,
+                &small,
+                &oracle_opts,
+                opts.verify_seed,
+            ) {
+                Ok(report) => println!(
+                    "verify {label:<6}: OK — {} point(s), {} block(s), \
+                     {} staged elem(s), {} array(s) bitwise-equal (seed {})",
+                    report.points,
+                    report.blocks,
+                    report.staged_elems,
+                    report.arrays_compared,
+                    opts.verify_seed
+                ),
+                Err(e) => {
+                    return Err(format!("verify {label}: {e}"));
+                }
+            }
+        }
     }
 
     if opts.evaluate {

@@ -4,9 +4,10 @@
 //! integrated into toolchains that perform JIT compilation, which is
 //! commonplace in deep learning frameworks". Such toolchains see the same
 //! kernels repeatedly (often with the same shapes); [`TileCache`] keys
-//! solved selections by a structural fingerprint of
-//! (program, sizes, architecture, configuration) so repeated requests are
-//! served without touching the solver.
+//! solved selections by the full structural key of
+//! (program, sizes, architecture, configuration) — the 64-bit
+//! [`fingerprint`] only picks the bucket, and colliding keys coexist in
+//! it, so a hash collision can never serve the wrong kernel's tiles.
 
 use crate::config::EatssConfig;
 use crate::model::{EatssError, EatssSolution, ModelGenerator};
@@ -24,9 +25,16 @@ pub struct TileCacheStats {
     pub hits: u64,
     /// Requests that ran the solver.
     pub misses: u64,
-    /// Requests whose formulation was unsatisfiable (also cached).
+    /// Requests whose formulation was *proven* unsatisfiable
+    /// ([`EatssError::Unsatisfiable`]; also cached).
     pub infeasible: u64,
+    /// Requests that failed for any other reason — budget exhaustion,
+    /// solver faults, unbound parameters (also cached).
+    pub errors: u64,
 }
+
+/// One bucket of colliding entries: `(full key, memoized result)` pairs.
+type Bucket = Vec<(Vec<u8>, Result<EatssSolution, EatssError>)>;
 
 /// A memoizing front end over the EATSS pipeline for JIT-style use.
 ///
@@ -55,7 +63,12 @@ pub struct TileCacheStats {
 #[derive(Debug)]
 pub struct TileCache {
     arch: GpuArch,
-    entries: HashMap<u64, Result<EatssSolution, EatssError>>,
+    /// Buckets by fingerprint; each bucket holds `(full key, result)`
+    /// pairs so fingerprint collisions stay distinguishable.
+    entries: HashMap<u64, Bucket>,
+    /// How a full key is folded into a bucket index — swappable in tests
+    /// to force collisions.
+    fingerprinter: fn(&[u8]) -> u64,
     stats: TileCacheStats,
 }
 
@@ -65,18 +78,31 @@ impl TileCache {
         TileCache {
             arch,
             entries: HashMap::new(),
+            fingerprinter: hash_key,
+            stats: TileCacheStats::default(),
+        }
+    }
+
+    /// Like [`TileCache::new`] but with a custom bucket function — used
+    /// by tests to force every key into one bucket and exercise the
+    /// collision path.
+    pub fn with_fingerprinter(arch: GpuArch, fingerprinter: fn(&[u8]) -> u64) -> Self {
+        TileCache {
+            arch,
+            entries: HashMap::new(),
+            fingerprinter,
             stats: TileCacheStats::default(),
         }
     }
 
     /// Number of memoized formulations (feasible or not).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(Vec::len).sum()
     }
 
     /// Whether nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Hit/miss counters.
@@ -90,7 +116,7 @@ impl TileCache {
         self.stats = TileCacheStats::default();
     }
 
-    /// Selects tiles, serving repeats from the cache. Infeasibility is
+    /// Selects tiles, serving repeats from the cache. Failures are
     /// memoized too, so a JIT does not retry hopeless configurations.
     ///
     /// # Errors
@@ -103,103 +129,151 @@ impl TileCache {
         sizes: &ProblemSizes,
         config: &EatssConfig,
     ) -> Result<&EatssSolution, EatssError> {
-        let key = fingerprint(&self.arch, program, sizes, config);
-        if let std::collections::hash_map::Entry::Vacant(entry) = self.entries.entry(key) {
-            self.stats.misses += 1;
-            let result = ModelGenerator::new(&self.arch, config.clone())
-                .build(program, Some(sizes))
-                .and_then(|model| model.solve());
-            if result.is_err() {
-                self.stats.infeasible += 1;
+        let key = encode_key(&self.arch, program, sizes, config);
+        let bucket_id = (self.fingerprinter)(&key);
+        let bucket = self.entries.entry(bucket_id).or_default();
+        let pos = match bucket.iter().position(|(k, _)| *k == key) {
+            Some(pos) => {
+                self.stats.hits += 1;
+                pos
             }
-            entry.insert(result);
-        } else {
-            self.stats.hits += 1;
-        }
-        match self.entries.get(&key).expect("just inserted") {
+            None => {
+                self.stats.misses += 1;
+                let result = ModelGenerator::new(&self.arch, config.clone())
+                    .build(program, Some(sizes))
+                    .and_then(|model| model.solve());
+                match &result {
+                    Err(EatssError::Unsatisfiable { .. }) => self.stats.infeasible += 1,
+                    Err(_) => self.stats.errors += 1,
+                    Ok(_) => {}
+                }
+                bucket.push((key, result));
+                bucket.len() - 1
+            }
+        };
+        match &bucket[pos].1 {
             Ok(solution) => Ok(solution),
             Err(e) => Err(e.clone()),
         }
     }
 }
 
-/// Structural fingerprint of a selection request: kernel shapes, access
-/// functions, bound sizes, architecture identity and configuration knobs.
-/// Kernel *names* are deliberately excluded — JITs generate fresh names
-/// for structurally identical kernels.
+/// Canonical byte encoding of a selection request: kernel shapes, access
+/// functions, bound sizes, architecture resources and configuration
+/// knobs. Kernel and array *names* are deliberately excluded — JITs
+/// generate fresh names for structurally identical kernels. Two requests
+/// are interchangeable iff their encodings are equal; this is the full
+/// key the cache compares on lookup.
+pub fn encode_key(
+    arch: &GpuArch,
+    program: &Program,
+    sizes: &ProblemSizes,
+    config: &EatssConfig,
+) -> Vec<u8> {
+    let mut k = Vec::with_capacity(256);
+    put(&mut k, arch.name.len() as u64);
+    k.extend_from_slice(arch.name.as_bytes());
+    put(&mut k, arch.l1_shared_bytes);
+    put(&mut k, arch.l2_bytes);
+    put(&mut k, arch.regs_per_sm as u64);
+    put(&mut k, arch.sm_count as u64);
+    put(&mut k, arch.max_threads_per_block as u64);
+    put(&mut k, arch.max_shared_per_block);
+    put(&mut k, config.split_factor.to_bits());
+    put(&mut k, config.warp_fraction.to_bits());
+    put(&mut k, config.precision.elem_bytes() as u64);
+    put(
+        &mut k,
+        (config.cap == crate::config::ThreadBlockCap::Strict) as u64,
+    );
+    put(&mut k, program.kernels.len() as u64);
+    for kernel in &program.kernels {
+        put(&mut k, kernel.depth() as u64);
+        for dim in &kernel.dims {
+            put(&mut k, dim.explicit_serial as u64);
+            match &dim.extent {
+                Extent::Const(c) => {
+                    put(&mut k, 0);
+                    put(&mut k, *c as u64);
+                }
+                Extent::Param(p) => {
+                    put(&mut k, 1);
+                    put(&mut k, sizes.get(p).map_or(u64::MAX, |v| v as u64));
+                }
+            }
+        }
+        put(&mut k, kernel.stmts.len() as u64);
+        for stmt in &kernel.stmts {
+            encode_ref(&stmt.write, &mut k);
+            put(&mut k, stmt.is_accumulation as u64);
+            put(&mut k, stmt.reads.len() as u64);
+            for r in &stmt.reads {
+                encode_ref(r, &mut k);
+            }
+            encode_rhs(&stmt.rhs, &mut k);
+        }
+    }
+    k
+}
+
+fn put(k: &mut Vec<u8>, v: u64) {
+    k.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Folds a canonical key into its 64-bit bucket fingerprint.
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Structural fingerprint of a selection request — the bucket hash of
+/// [`encode_key`]. Collisions are possible (it is 64 bits); the cache
+/// itself always compares the full encoding.
 pub fn fingerprint(
     arch: &GpuArch,
     program: &Program,
     sizes: &ProblemSizes,
     config: &EatssConfig,
 ) -> u64 {
-    let mut h = DefaultHasher::new();
-    arch.name.hash(&mut h);
-    arch.l1_shared_bytes.hash(&mut h);
-    arch.l2_bytes.hash(&mut h);
-    arch.regs_per_sm.hash(&mut h);
-    config.split_factor.to_bits().hash(&mut h);
-    config.warp_fraction.to_bits().hash(&mut h);
-    config.precision.elem_bytes().hash(&mut h);
-    (config.cap == crate::config::ThreadBlockCap::Strict).hash(&mut h);
-    for kernel in &program.kernels {
-        kernel.depth().hash(&mut h);
-        for dim in &kernel.dims {
-            dim.explicit_serial.hash(&mut h);
-            match &dim.extent {
-                Extent::Const(c) => {
-                    0u8.hash(&mut h);
-                    c.hash(&mut h);
-                }
-                Extent::Param(p) => {
-                    1u8.hash(&mut h);
-                    sizes.get(p).hash(&mut h);
-                }
-            }
-        }
-        for stmt in &kernel.stmts {
-            hash_ref(&stmt.write, &mut h);
-            stmt.is_accumulation.hash(&mut h);
-            for r in &stmt.reads {
-                hash_ref(r, &mut h);
-            }
-            hash_rhs(&stmt.rhs, &mut h);
-        }
-    }
-    h.finish()
+    hash_key(&encode_key(arch, program, sizes, config))
 }
 
-fn hash_ref(r: &ArrayRef, h: &mut DefaultHasher) {
+fn encode_ref(r: &ArrayRef, k: &mut Vec<u8>) {
     // The array identity matters for grouping, but names are JIT-fresh;
-    // hash the subscript structure and a per-statement array index proxy
-    // (length is part of the structure).
-    r.subscripts.len().hash(h);
-    r.array.len().hash(h);
+    // encode the subscript structure and the name length as a proxy.
+    put(k, r.subscripts.len() as u64);
+    put(k, r.array.len() as u64);
     for s in &r.subscripts {
-        s.terms().hash(h);
-        s.offset().hash(h);
+        put(k, s.terms().len() as u64);
+        for &(d, c) in s.terms() {
+            put(k, d as u64);
+            put(k, c as u64);
+        }
+        put(k, s.offset() as u64);
     }
 }
 
-fn hash_rhs(e: &RhsExpr, h: &mut DefaultHasher) {
+fn encode_rhs(e: &RhsExpr, k: &mut Vec<u8>) {
     match e {
         RhsExpr::Num(v) => {
-            0u8.hash(h);
-            v.to_bits().hash(h);
+            k.push(0);
+            k.extend_from_slice(&v.to_bits().to_le_bytes());
         }
         RhsExpr::Ref(i) => {
-            1u8.hash(h);
-            i.hash(h);
+            k.push(1);
+            k.extend_from_slice(&(*i as u64).to_le_bytes());
         }
         RhsExpr::Bin(op, a, b) => {
-            2u8.hash(h);
-            op.hash(h);
-            hash_rhs(a, h);
-            hash_rhs(b, h);
+            k.push(2);
+            let mut buf = [0u8; 4];
+            k.extend_from_slice(op.encode_utf8(&mut buf).as_bytes());
+            encode_rhs(a, k);
+            encode_rhs(b, k);
         }
         RhsExpr::Neg(a) => {
-            3u8.hash(h);
-            hash_rhs(a, h);
+            k.push(3);
+            encode_rhs(a, k);
         }
     }
 }
@@ -280,6 +354,23 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.infeasible, 1);
+        assert_eq!(stats.errors, 0, "unsatisfiable is not a pipeline error");
+    }
+
+    #[test]
+    fn pipeline_errors_are_counted_separately() {
+        let mut cache = TileCache::new(GpuArch::ga100());
+        let empty = Program {
+            name: "empty".into(),
+            kernels: vec![],
+        };
+        let e = cache
+            .select(&empty, &sizes(100), &EatssConfig::default())
+            .unwrap_err();
+        assert!(matches!(e, EatssError::EmptyProgram));
+        let stats = cache.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.infeasible, 0, "EmptyProgram is not infeasibility");
     }
 
     #[test]
@@ -291,5 +382,62 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), TileCacheStats::default());
+    }
+
+    #[test]
+    fn colliding_fingerprints_keep_distinct_entries() {
+        // Every request lands in bucket 0; structurally different
+        // programs must still be solved and served independently.
+        let mut cache = TileCache::with_fingerprinter(GpuArch::ga100(), |_| 0);
+        let matmul = mm(("C", "A", "B"));
+        let stencil = parse_program(
+            "kernel st(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 C[i][j] += A[i][j-1] + A[i][j+1];
+             }",
+        )
+        .unwrap();
+        let a = cache
+            .select(&matmul, &sizes(2000), &EatssConfig::default())
+            .unwrap()
+            .clone();
+        let b = cache
+            .select(&stencil, &sizes(2000), &EatssConfig::default())
+            .unwrap()
+            .clone();
+        assert_eq!(cache.stats().misses, 2, "collision must not alias");
+        assert_eq!(cache.len(), 2);
+        // Both entries stay retrievable with their own tiles.
+        let a2 = cache
+            .select(&matmul, &sizes(2000), &EatssConfig::default())
+            .unwrap()
+            .clone();
+        let b2 = cache
+            .select(&stencil, &sizes(2000), &EatssConfig::default())
+            .unwrap()
+            .clone();
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(a.tiles, a2.tiles);
+        assert_eq!(b.tiles, b2.tiles);
+    }
+
+    #[test]
+    fn distinct_architectures_do_not_alias() {
+        // ga100 and a hypothetical variant differing only in fields the
+        // old fingerprint ignored (sm_count, threads/block cap) must
+        // produce different fingerprints.
+        let program = mm(("C", "A", "B"));
+        let cfg = EatssConfig::default();
+        let base = GpuArch::ga100();
+        let mut fewer_sms = base.clone();
+        fewer_sms.sm_count = 1;
+        let mut smaller_blocks = base.clone();
+        smaller_blocks.max_threads_per_block = 128;
+        let f0 = fingerprint(&base, &program, &sizes(2000), &cfg);
+        assert_ne!(f0, fingerprint(&fewer_sms, &program, &sizes(2000), &cfg));
+        assert_ne!(
+            f0,
+            fingerprint(&smaller_blocks, &program, &sizes(2000), &cfg)
+        );
     }
 }

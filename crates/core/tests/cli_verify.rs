@@ -1,0 +1,71 @@
+//! End-to-end tests of the `eatss --verify` CLI path: the oracle-backed
+//! verification must run, report bitwise agreement, and fail loudly on a
+//! bad configuration request.
+
+use std::process::Command;
+
+fn eatss() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eatss"))
+}
+
+#[test]
+fn verify_flag_checks_eatss_and_default_tiles() {
+    let out = eatss()
+        .args(["gemm", "--verify", "--log-level", "off"])
+        .output()
+        .expect("spawn eatss");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "--verify failed:\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("verify EATSS"), "{stdout}");
+    assert!(stdout.contains("verify 32^d"), "{stdout}");
+    assert_eq!(stdout.matches("OK —").count(), 2, "{stdout}");
+    assert!(stdout.contains("bitwise-equal"), "{stdout}");
+}
+
+#[test]
+fn verify_seed_is_reported_for_reproducibility() {
+    let out = eatss()
+        .args([
+            "gemm",
+            "--verify",
+            "--verify-seed",
+            "1234",
+            "--log-level",
+            "off",
+        ])
+        .output()
+        .expect("spawn eatss");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(seed 1234)"), "{stdout}");
+}
+
+#[test]
+fn verify_works_on_a_time_loop_benchmark() {
+    // jacobi-2d has an explicit-serial time dim: the oracle must emulate
+    // per-step launches and still agree with the interpreter.
+    let out = eatss()
+        .args(["jacobi-2d", "--verify", "--log-level", "off"])
+        .output()
+        .expect("spawn eatss");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(stdout.matches("OK —").count(), 2, "{stdout}");
+}
+
+#[test]
+fn bad_verify_seed_is_rejected() {
+    let out = eatss()
+        .args(["gemm", "--verify-seed", "not-a-number"])
+        .output()
+        .expect("spawn eatss");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,746 @@
+//! Deterministic GPU-execution emulator for compiled mappings.
+//!
+//! Executes the semantics of the generated CUDA text — grid/block index
+//! decoding, serial tile loops with `min` boundary guards, cyclic
+//! per-thread point loops, `__shared__` staging with `__syncthreads()`
+//! barrier phases, and per-time-step launches — block by block and thread
+//! by thread on the host, against an [`eatss_affine::interp::Store`].
+//!
+//! Out-of-bounds conventions match the interpreter exactly: global reads
+//! outside an array return `0.0` and writes outside are dropped, so the
+//! emulator and the untiled interpreter are comparable element-wise
+//! (bitwise, in fact: every write uses all mapped dims — otherwise the
+//! output dependence would have serialized the dim — so each output
+//! element is owned by one thread, and the per-element accumulation order
+//! is ascending serial order in both executions).
+//!
+//! What is *not* modeled: warp scheduling, memory timing, and racy
+//! unsynchronized accesses (blocks and threads are independent by
+//! construction of the mapping, so any interleaving is equivalent —
+//! except across a skipped barrier, which [`BarrierFidelity::SkipLoadBarrier`]
+//! exposes deliberately).
+
+use crate::mapping::GpuMapping;
+use eatss_affine::interp::{exec_point_hooked, Store};
+use eatss_affine::ir::{ArrayRef, Kernel};
+use eatss_affine::{ProblemSizes, Program};
+use std::fmt;
+
+/// How faithfully `__syncthreads()` phases are honored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierFidelity {
+    /// The barrier after the cooperative load completes before any thread
+    /// computes — the semantics of the generated code.
+    #[default]
+    Faithful,
+    /// The load barrier is skipped: each thread loads only its own cyclic
+    /// share of the staged box and immediately computes, so it observes
+    /// stale (or initial-zero) values for elements other threads stage.
+    /// Used by tests to prove the oracle is barrier-sensitive.
+    SkipLoadBarrier,
+}
+
+/// Emulator knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Barrier semantics (see [`BarrierFidelity`]).
+    pub barrier_fidelity: BarrierFidelity,
+}
+
+/// Execution counters, for trace output and harness reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Kernel launches performed (product of time-loop trips per kernel).
+    pub launches: u64,
+    /// Blocks executed across all launches.
+    pub blocks: u64,
+    /// `__syncthreads()` barriers honored.
+    pub barriers: u64,
+    /// Elements loaded into staged shared buffers.
+    pub staged_elems: u64,
+    /// Iteration points executed.
+    pub points: u64,
+}
+
+impl ExecStats {
+    fn absorb(&mut self, other: ExecStats) {
+        self.launches += other.launches;
+        self.blocks += other.blocks;
+        self.barriers += other.barriers;
+        self.staged_elems += other.staged_elems;
+        self.points += other.points;
+    }
+}
+
+/// Emulation failures — each one is a genuine bug in the mapping or the
+/// generated code, not a data problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A problem-size parameter is unbound.
+    UnboundParameter(String),
+    /// A staged group is written: the generated code has no write-back
+    /// phase, so staging it would drop the writes.
+    StagedWrite {
+        /// Kernel name.
+        kernel: String,
+        /// Array name.
+        array: String,
+    },
+    /// A read routed to a staged buffer fell outside the staged box —
+    /// the cooperative load under-covers the tile's accesses.
+    StagedReadOutOfBox {
+        /// Kernel name.
+        kernel: String,
+        /// Array name.
+        array: String,
+        /// The out-of-box global index.
+        index: Vec<i64>,
+    },
+    /// The staged box needs more elements than the `__shared__`
+    /// declaration provides.
+    SharedUndersized {
+        /// Kernel name.
+        kernel: String,
+        /// Array name.
+        array: String,
+        /// Elements the box actually needs.
+        box_elems: i64,
+        /// Elements the mapping declared.
+        declared_elems: i64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnboundParameter(p) => {
+                write!(f, "problem-size parameter `{p}` is unbound")
+            }
+            ExecError::StagedWrite { kernel, array } => write!(
+                f,
+                "{kernel}: staged array `{array}` is written but staging has no write-back"
+            ),
+            ExecError::StagedReadOutOfBox { kernel, array, index } => write!(
+                f,
+                "{kernel}: read of `{array}`{index:?} outside its staged box"
+            ),
+            ExecError::SharedUndersized {
+                kernel,
+                array,
+                box_elems,
+                declared_elems,
+            } => write!(
+                f,
+                "{kernel}: staged box of `{array}` needs {box_elems} elems, \
+                 __shared__ declares {declared_elems}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A staged group prepared for emulation: which read refs route to the
+/// buffer, and the representative subscripts the box is derived from.
+struct StagedGroup<'a> {
+    array: String,
+    representative: &'a ArrayRef,
+    fastest_offsets: (i64, i64),
+    declared_elems: i64,
+    /// Current box: per-subscript `(lo, hi)` inclusive global bounds.
+    bounds: Vec<(i64, i64)>,
+    /// Buffer contents, row-major over the box.
+    data: Vec<f64>,
+}
+
+impl StagedGroup<'_> {
+    fn box_elems(&self) -> i64 {
+        self.bounds.iter().map(|(lo, hi)| hi - lo + 1).product()
+    }
+
+    /// Flattens a global multi-index into the box, or `None` if outside.
+    fn flatten(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.bounds.len() {
+            return None;
+        }
+        let mut flat: i64 = 0;
+        for (&i, &(lo, hi)) in idx.iter().zip(&self.bounds) {
+            if i < lo || i > hi {
+                return None;
+            }
+            flat = flat * (hi - lo + 1) + (i - lo);
+        }
+        Some(flat as usize)
+    }
+}
+
+/// Two refs access the same staged lines iff they agree on everything but
+/// the fastest subscript's constant offset — the grouping key of
+/// `AccessAnalysis::collect_groups`.
+fn same_group(a: &ArrayRef, b: &ArrayRef) -> bool {
+    if a.array != b.array || a.subscripts.len() != b.subscripts.len() {
+        return false;
+    }
+    let last = a.subscripts.len().wrapping_sub(1);
+    a.subscripts.iter().zip(&b.subscripts).enumerate().all(|(p, (sa, sb))| {
+        sa.terms() == sb.terms() && (p == last || sa.offset() == sb.offset())
+    })
+}
+
+/// Executes one compiled kernel over the store.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn execute_mapped_kernel(
+    kernel: &Kernel,
+    mapping: &GpuMapping,
+    sizes: &ProblemSizes,
+    store: &mut Store,
+    opts: &ExecOptions,
+) -> Result<ExecStats, ExecError> {
+    let mut span = eatss_trace::span("exec", "kernel");
+    if span.is_active() {
+        span.arg("kernel", kernel.name.as_str());
+        span.arg("tiles", mapping.tiles.to_string());
+    }
+    let depth = kernel.depth();
+    let trips: Vec<i64> = (0..depth)
+        .map(|d| {
+            kernel
+                .trip_count(d, sizes)
+                .map_err(ExecError::UnboundParameter)
+        })
+        .collect::<Result<_, _>>()?;
+    let mut stats = ExecStats::default();
+    if trips.iter().any(|&t| t <= 0) {
+        return Ok(stats);
+    }
+    let tiles = mapping.tiles.sizes();
+    let time_dims: Vec<usize> = (0..depth)
+        .filter(|&d| kernel.dims[d].explicit_serial)
+        .collect();
+    let serial_dims: Vec<usize> = (0..depth)
+        .filter(|&d| !mapping.mapped_dims.contains(&d) && !kernel.dims[d].explicit_serial)
+        .collect();
+
+    // Prepare staged groups and route each statement read to its buffer.
+    let mut staged: Vec<StagedGroup<'_>> = Vec::new();
+    for r in &mapping.refs {
+        if !r.staged {
+            continue;
+        }
+        if r.group.is_written {
+            return Err(ExecError::StagedWrite {
+                kernel: kernel.name.clone(),
+                array: r.group.array.clone(),
+            });
+        }
+        staged.push(StagedGroup {
+            array: r.group.array.clone(),
+            representative: &r.group.representative,
+            fastest_offsets: r.group.fastest_offsets,
+            declared_elems: r.tile_footprint_elems,
+            bounds: Vec::new(),
+            data: Vec::new(),
+        });
+    }
+
+    // --- launch loop over time-dim values ----------------------------------
+    let mut tvals: Vec<i64> = vec![0; time_dims.len()];
+    loop {
+        stats.absorb(run_launch(
+            kernel,
+            mapping,
+            &trips,
+            tiles,
+            &time_dims,
+            &tvals,
+            &serial_dims,
+            &mut staged,
+            store,
+            opts,
+        )?);
+        // Increment the time multi-index (lexicographic, last fastest).
+        let mut d = time_dims.len();
+        loop {
+            if d == 0 {
+                if span.is_active() {
+                    span.arg("points", stats.points);
+                    span.arg("blocks", stats.blocks);
+                }
+                eatss_trace::counter_add("exec.points", stats.points);
+                eatss_trace::counter_add("exec.blocks", stats.blocks);
+                return Ok(stats);
+            }
+            d -= 1;
+            tvals[d] += 1;
+            if tvals[d] < trips[time_dims[d]] {
+                break;
+            }
+            tvals[d] = 0;
+        }
+    }
+}
+
+/// One grid launch: every block, every serial tile step, staging + compute.
+#[allow(clippy::too_many_arguments)]
+fn run_launch(
+    kernel: &Kernel,
+    mapping: &GpuMapping,
+    trips: &[i64],
+    tiles: &[i64],
+    time_dims: &[usize],
+    tvals: &[i64],
+    serial_dims: &[usize],
+    staged: &mut [StagedGroup<'_>],
+    store: &mut Store,
+    opts: &ExecOptions,
+) -> Result<ExecStats, ExecError> {
+    let mut stats = ExecStats {
+        launches: 1,
+        ..ExecStats::default()
+    };
+    let threads_total: i64 = mapping.thread_extents.iter().product();
+    // Thread coordinates in linear order, x fastest (CUDA convention).
+    let thread_coords: Vec<Vec<i64>> = {
+        let mut all = Vec::with_capacity(threads_total as usize);
+        let mut c = vec![0i64; mapping.thread_extents.len()];
+        'outer: loop {
+            all.push(c.clone());
+            for (p, v) in c.iter_mut().enumerate() {
+                *v += 1;
+                if *v < mapping.thread_extents[p] {
+                    continue 'outer;
+                }
+                *v = 0;
+            }
+            break;
+        }
+        all
+    };
+
+    let mut block = vec![0i64; mapping.grid_extents.len()];
+    'blocks: loop {
+        stats.blocks += 1;
+        // Tile origins along mapped dims for this block.
+        let origins: Vec<i64> = mapping
+            .mapped_dims
+            .iter()
+            .enumerate()
+            .map(|(pos, &d)| block[pos] * tiles[d])
+            .collect();
+        // Reset persistent buffers per block (shared memory has block
+        // lifetime; contents start undefined — zeros here, which the
+        // skip-barrier mode deliberately observes).
+        for g in staged.iter_mut() {
+            g.bounds.clear();
+            g.data.clear();
+        }
+        // Serial tile loop (lexicographic over serial-dim tile indices).
+        let mut step = vec![0i64; serial_dims.len()];
+        loop {
+            let sorigins: Vec<i64> = serial_dims
+                .iter()
+                .zip(&step)
+                .map(|(&d, &s)| s * tiles[d])
+                .collect();
+            run_step(
+                kernel,
+                mapping,
+                trips,
+                tiles,
+                time_dims,
+                tvals,
+                serial_dims,
+                &sorigins,
+                &origins,
+                &thread_coords,
+                staged,
+                store,
+                opts,
+                &mut stats,
+            )?;
+            // Advance the serial step odometer (last dim fastest).
+            let mut advanced = false;
+            let mut d = serial_dims.len();
+            while d > 0 {
+                d -= 1;
+                step[d] += 1;
+                if step[d] * tiles[serial_dims[d]] < trips[serial_dims[d]] {
+                    advanced = true;
+                    break;
+                }
+                step[d] = 0;
+            }
+            if !advanced {
+                break;
+            }
+        }
+        // Advance the block index (x fastest, CUDA linear order).
+        let mut p = 0;
+        loop {
+            if p == block.len() {
+                break 'blocks;
+            }
+            block[p] += 1;
+            if block[p] < mapping.grid_extents[p] {
+                continue 'blocks;
+            }
+            block[p] = 0;
+            p += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// One serial tile step inside one block: staging phase, barrier, compute.
+#[allow(clippy::too_many_arguments)]
+fn run_step(
+    kernel: &Kernel,
+    mapping: &GpuMapping,
+    trips: &[i64],
+    tiles: &[i64],
+    time_dims: &[usize],
+    tvals: &[i64],
+    serial_dims: &[usize],
+    sorigins: &[i64],
+    origins: &[i64],
+    thread_coords: &[Vec<i64>],
+    staged: &mut [StagedGroup<'_>],
+    store: &mut Store,
+    opts: &ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<(), ExecError> {
+    let depth = kernel.depth();
+    // Per-dim value ranges for the staging box.
+    let mut ranges = vec![(0i64, 0i64); depth];
+    for (i, &d) in time_dims.iter().enumerate() {
+        ranges[d] = (tvals[i], tvals[i]);
+    }
+    for (i, &d) in serial_dims.iter().enumerate() {
+        ranges[d] = (sorigins[i], (sorigins[i] + tiles[d]).min(trips[d]) - 1);
+    }
+    for (pos, &d) in mapping.mapped_dims.iter().enumerate() {
+        ranges[d] = (origins[pos], (origins[pos] + tiles[d]).min(trips[d]) - 1);
+    }
+
+    // --- staging phase ------------------------------------------------------
+    for g in staged.iter_mut() {
+        let nsubs = g.representative.subscripts.len();
+        let mut bounds = Vec::with_capacity(nsubs);
+        for (p, s) in g.representative.subscripts.iter().enumerate() {
+            let mut lo = 0i64;
+            let mut hi = 0i64;
+            for &(d, c) in s.terms() {
+                let (rlo, rhi) = ranges[d];
+                if c >= 0 {
+                    lo += c * rlo;
+                    hi += c * rhi;
+                } else {
+                    lo += c * rhi;
+                    hi += c * rlo;
+                }
+            }
+            if p + 1 == nsubs {
+                // Fastest subscript: span all member offsets.
+                lo += g.fastest_offsets.0;
+                hi += g.fastest_offsets.1;
+            } else {
+                lo += s.offset();
+                hi += s.offset();
+            }
+            bounds.push((lo, hi));
+        }
+        g.bounds = bounds;
+        let elems = g.box_elems();
+        if elems > g.declared_elems {
+            return Err(ExecError::SharedUndersized {
+                kernel: kernel.name.clone(),
+                array: g.array.clone(),
+                box_elems: elems,
+                declared_elems: g.declared_elems,
+            });
+        }
+        stats.staged_elems += elems as u64;
+        match opts.barrier_fidelity {
+            BarrierFidelity::Faithful => {
+                // Cooperative load, then the barrier: the buffer is fully
+                // populated before any thread computes.
+                let array = store.get(&g.array);
+                g.data.clear();
+                let mut idx: Vec<i64> = g.bounds.iter().map(|&(lo, _)| lo).collect();
+                for _ in 0..elems {
+                    g.data.push(array.map_or(0.0, |a| a.get(&idx)));
+                    for p in (0..idx.len()).rev() {
+                        idx[p] += 1;
+                        if idx[p] <= g.bounds[p].1 {
+                            break;
+                        }
+                        idx[p] = g.bounds[p].0;
+                    }
+                }
+                stats.barriers += 1;
+            }
+            BarrierFidelity::SkipLoadBarrier => {
+                // Loads happen per-thread, interleaved with compute below;
+                // keep whatever was in the buffer (stale or zero) and only
+                // grow it to the box size.
+                g.data.resize(elems as usize, 0.0);
+            }
+        }
+    }
+
+    // --- compute phase ------------------------------------------------------
+    let mut point = vec![0i64; depth];
+    for (i, &d) in time_dims.iter().enumerate() {
+        point[d] = tvals[i];
+    }
+    for (tl, coord) in thread_coords.iter().enumerate() {
+        if opts.barrier_fidelity == BarrierFidelity::SkipLoadBarrier {
+            // This thread loads only its cyclic share before computing.
+            let nthreads = thread_coords.len();
+            for g in staged.iter_mut() {
+                let array = store.get(&g.array);
+                let elems = g.data.len();
+                let mut idx: Vec<i64> = g.bounds.iter().map(|&(lo, _)| lo).collect();
+                for flat in 0..elems {
+                    if flat % nthreads == tl {
+                        g.data[flat] = array.map_or(0.0, |a| a.get(&idx));
+                    }
+                    for p in (0..idx.len()).rev() {
+                        idx[p] += 1;
+                        if idx[p] <= g.bounds[p].1 {
+                            break;
+                        }
+                        idx[p] = g.bounds[p].0;
+                    }
+                }
+            }
+        }
+        // Serial point loops (dim order), then mapped cyclic point loops —
+        // the loop structure of the generated kernel.
+        run_thread_points(
+            kernel, mapping, trips, tiles, serial_dims, sorigins, origins, coord, &mut point,
+            0, staged, store, stats,
+        )?;
+    }
+    if !staged.is_empty() {
+        stats.barriers += 1; // barrier after the compute phase
+    }
+    Ok(())
+}
+
+/// Recursively enumerates this thread's points: serial point dims first
+/// (in dim order), then the mapped dims' cyclic loops (x innermost), and
+/// executes the kernel statements at each point through the staging hook.
+#[allow(clippy::too_many_arguments)]
+fn run_thread_points(
+    kernel: &Kernel,
+    mapping: &GpuMapping,
+    trips: &[i64],
+    tiles: &[i64],
+    serial_dims: &[usize],
+    sorigins: &[i64],
+    origins: &[i64],
+    coord: &[i64],
+    point: &mut Vec<i64>,
+    level: usize,
+    staged: &mut [StagedGroup<'_>],
+    store: &mut Store,
+    stats: &mut ExecStats,
+) -> Result<(), ExecError> {
+    if level < serial_dims.len() {
+        let d = serial_dims[level];
+        let end = (sorigins[level] + tiles[d]).min(trips[d]);
+        let mut v = sorigins[level];
+        while v < end {
+            point[d] = v;
+            run_thread_points(
+                kernel, mapping, trips, tiles, serial_dims, sorigins, origins, coord, point,
+                level + 1, staged, store, stats,
+            )?;
+            v += 1;
+        }
+        return Ok(());
+    }
+    // Mapped dims, outermost last-mapped first, x (pos 0) innermost.
+    let m = level - serial_dims.len();
+    if m < mapping.mapped_dims.len() {
+        let pos = mapping.mapped_dims.len() - 1 - m;
+        let d = mapping.mapped_dims[pos];
+        let end = (origins[pos] + tiles[d]).min(trips[d]);
+        let mut v = origins[pos] + coord[pos];
+        while v < end {
+            point[d] = v;
+            run_thread_points(
+                kernel, mapping, trips, tiles, serial_dims, sorigins, origins, coord, point,
+                level + 1, staged, store, stats,
+            )?;
+            v += mapping.thread_extents[pos];
+        }
+        return Ok(());
+    }
+    // A full point: execute every statement through the staging read hook.
+    stats.points += 1;
+    let mut failure: Option<ExecError> = None;
+    {
+        let staged_ref: &[StagedGroup<'_>] = staged;
+        let kernel_name = &kernel.name;
+        let mut hook = |r: &ArrayRef, idx: &[i64]| -> Option<f64> {
+            let g = staged_ref
+                .iter()
+                .find(|g| g.array == r.array && same_group(g.representative, r))?;
+            match g.flatten(idx) {
+                Some(flat) => Some(g.data[flat]),
+                None => {
+                    if failure.is_none() {
+                        failure = Some(ExecError::StagedReadOutOfBox {
+                            kernel: kernel_name.clone(),
+                            array: r.array.clone(),
+                            index: idx.to_vec(),
+                        });
+                    }
+                    Some(0.0)
+                }
+            }
+        };
+        exec_point_hooked(kernel, store, point, &mut hook);
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Executes a whole compiled program (every kernel in order) over the
+/// store, mirroring the generated host `main`.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn execute_compiled(
+    program: &Program,
+    mappings: &[GpuMapping],
+    sizes: &ProblemSizes,
+    store: &mut Store,
+    opts: &ExecOptions,
+) -> Result<ExecStats, ExecError> {
+    let mut stats = ExecStats::default();
+    for (kernel, mapping) in program.kernels.iter().zip(mappings) {
+        stats.absorb(execute_mapped_kernel(kernel, mapping, sizes, store, opts)?);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::CompileOptions;
+    use crate::oracle::seed_store;
+    use eatss_affine::interp::{compare_stores, run_program};
+    use eatss_affine::parser::parse_program;
+    use eatss_gpusim::GpuArch;
+
+    const MM: &str = "kernel mm(M, N, P) {
+        for (i: M) for (j: N) for (k: P)
+          C[i][j] += A[i][k] * B[k][j];
+      }";
+
+    fn emulate(
+        src: &str,
+        tiles: Vec<i64>,
+        sizes: &[(&str, i64)],
+        opts: &ExecOptions,
+    ) -> (Store, Store, ExecStats) {
+        let p = parse_program(src).unwrap();
+        let sizes = ProblemSizes::new(sizes.iter().cloned());
+        let compiled = crate::Ppcg::new(GpuArch::ga100())
+            .compile(&p, &eatss_affine::tiling::TileConfig::new(tiles), &sizes, &CompileOptions::default())
+            .unwrap();
+        let mut emul = seed_store(&p, &sizes, 42).unwrap();
+        let stats = execute_compiled(&p, &compiled.mappings, &sizes, &mut emul, opts).unwrap();
+        let mut reference = seed_store(&p, &sizes, 42).unwrap();
+        run_program(&p, &sizes, &mut reference).unwrap();
+        (emul, reference, stats)
+    }
+
+    #[test]
+    fn matmul_agrees_with_interpreter() {
+        let (emul, reference, stats) =
+            emulate(MM, vec![4, 4, 4], &[("M", 9), ("N", 10), ("P", 7)], &ExecOptions::default());
+        assert!(compare_stores(&emul, &reference).is_empty());
+        assert_eq!(stats.points, 9 * 10 * 7);
+        assert_eq!(stats.launches, 1);
+    }
+
+    #[test]
+    fn non_divisible_and_unit_tiles_agree() {
+        for tiles in [vec![1, 1, 1], vec![3, 5, 2], vec![16, 16, 16]] {
+            let (emul, reference, _) =
+                emulate(MM, tiles.clone(), &[("M", 7), ("N", 11), ("P", 5)], &ExecOptions::default());
+            assert!(
+                compare_stores(&emul, &reference).is_empty(),
+                "tiles {tiles:?} disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn time_loop_kernel_relaunches_per_step() {
+        let (emul, reference, stats) = emulate(
+            "kernel sweep(T, N) {
+               for seq (t: T) for (i: N)
+                 A[i] = A[i] + B[i];
+             }",
+            vec![1, 4],
+            &[("T", 3), ("N", 10)],
+            &ExecOptions::default(),
+        );
+        assert!(compare_stores(&emul, &reference).is_empty());
+        assert_eq!(stats.launches, 3);
+        assert_eq!(stats.points, 30);
+    }
+
+    #[test]
+    fn skipping_the_load_barrier_breaks_staged_kernels() {
+        // The mapping stages A (matmul's shared-memory candidate). With
+        // the barrier honored the oracle agrees; with the load barrier
+        // skipped, threads read elements other threads have not staged
+        // yet, so results MUST diverge — proving the emulator actually
+        // models the barrier phases rather than bypassing the buffers.
+        let faithful = ExecOptions::default();
+        let skip = ExecOptions {
+            barrier_fidelity: BarrierFidelity::SkipLoadBarrier,
+        };
+        let sizes: &[(&str, i64)] = &[("M", 8), ("N", 8), ("P", 8)];
+        let (emul, reference, stats) = emulate(MM, vec![4, 4, 4], sizes, &faithful);
+        assert!(stats.staged_elems > 0, "A must be staged for this test");
+        assert!(compare_stores(&emul, &reference).is_empty());
+        let (emul, reference, _) = emulate(MM, vec![4, 4, 4], sizes, &skip);
+        assert!(
+            !compare_stores(&emul, &reference).is_empty(),
+            "reordering __syncthreads() phases must be observable"
+        );
+    }
+
+    #[test]
+    fn zero_trip_is_a_noop() {
+        let p = parse_program(MM).unwrap();
+        let sizes = ProblemSizes::new([("M", 4), ("N", 4), ("P", 4)]);
+        let compiled = crate::Ppcg::new(GpuArch::ga100())
+            .compile(
+                &p,
+                &eatss_affine::tiling::TileConfig::new(vec![2, 2, 2]),
+                &sizes,
+                &CompileOptions::default(),
+            )
+            .unwrap();
+        let zero = ProblemSizes::new([("M", 0), ("N", 4), ("P", 4)]);
+        let mut store = Store::new();
+        let stats = execute_compiled(&p, &compiled.mappings, &zero, &mut store, &ExecOptions::default())
+            .unwrap();
+        assert_eq!(stats.points, 0);
+        assert_eq!(stats.blocks, 0);
+    }
+}

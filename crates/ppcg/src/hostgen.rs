@@ -68,26 +68,34 @@ pub fn emit_host(
                 }
             }
         }
-        if mapping.launch_count > 1 {
+        // Time (explicit-serial) dims become host loops, one per dim, with
+        // the iterator passed down so the kernel sees the current step.
+        let names = kernel.dim_names();
+        let time_dims: Vec<usize> = (0..kernel.depth())
+            .filter(|&d| kernel.dims[d].explicit_serial)
+            .collect();
+        for &d in &time_dims {
+            args.push(format!("t{}", names[d]));
+        }
+        let mut indent = String::from("  ");
+        for &d in &time_dims {
+            let trip = kernel.trip_count(d, sizes).unwrap_or(1);
             let _ = writeln!(
                 out,
-                "  for (long t = 0; t < {}; t++) {{",
-                mapping.launch_count
+                "{indent}for (long t{n} = 0; t{n} < {trip}; t{n}++) {{",
+                n = names[d]
             );
-            let _ = writeln!(
-                out,
-                "    {}_kernel<<<dim3({grid}), dim3({block})>>>({});",
-                kernel.name,
-                args.join(", ")
-            );
-            let _ = writeln!(out, "  }}");
-        } else {
-            let _ = writeln!(
-                out,
-                "  {}_kernel<<<dim3({grid}), dim3({block})>>>({});",
-                kernel.name,
-                args.join(", ")
-            );
+            indent.push_str("  ");
+        }
+        let _ = writeln!(
+            out,
+            "{indent}{}_kernel<<<dim3({grid}), dim3({block})>>>({});",
+            kernel.name,
+            args.join(", ")
+        );
+        for _ in &time_dims {
+            indent.truncate(indent.len() - 2);
+            let _ = writeln!(out, "{indent}}}");
         }
     }
     let _ = writeln!(out, "  cudaDeviceSynchronize();");
@@ -206,8 +214,10 @@ mod tests {
             vec![1, 32, 32],
             &[("T", 50), ("N", 512)],
         );
-        assert!(host.contains("for (long t = 0; t < 50; t++)"));
+        assert!(host.contains("for (long tt = 0; tt < 50; tt++)"), "{host}");
         assert!(host.contains("jac_kernel<<<"));
+        // The current time step is passed to the kernel.
+        assert!(host.contains(", tt);"), "{host}");
     }
 
     #[test]

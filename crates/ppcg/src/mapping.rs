@@ -238,8 +238,14 @@ impl GpuMapping {
 
         // --- staging decision --------------------------------------------
         let elem = options.elem_bytes as i64;
+        // The staging buffer must cover the whole box the group touches in
+        // one serial step: the representative's footprint widened along the
+        // fastest subscript by the members' constant-offset spread (merged
+        // cache-line neighbours such as `A[i][j-1]`/`A[i][j+1]` read one
+        // element to each side of the representative).
         let step_footprint = |g: &RefGroup| -> Result<i64, CompileError> {
-            footprint(&g.representative, |d| {
+            let spread = g.fastest_offsets.1 - g.fastest_offsets.0;
+            footprint_widened(&g.representative, spread, |d| {
                 if kernel.dims[d].explicit_serial {
                     Ok(1) // time dims do not widen a single launch's tile
                 } else {
@@ -256,11 +262,16 @@ impl GpuMapping {
                 !kernel.dims[d].explicit_serial && !g.representative.uses_dim(d)
             })
         };
+        // Written groups are never staged: the generated code has no
+        // write-back phase, so a `__shared__` copy of a written array would
+        // silently fork it from global memory.
         let sh_candidates: Vec<usize> = analysis
             .groups
             .iter()
             .enumerate()
-            .filter(|(_, g)| g.memory == MemoryKind::SharedMem && has_reuse(g))
+            .filter(|(_, g)| {
+                g.memory == MemoryKind::SharedMem && !g.is_written && has_reuse(g)
+            })
             .map(|(i, _)| i)
             .collect();
         let mut sh_bytes = 0i64;
@@ -329,7 +340,8 @@ impl GpuMapping {
                         accesses.saturating_mul(div_ceil(trip(d)?, nest.tile(d)));
                 }
             }
-            let staged = stage && g.memory == MemoryKind::SharedMem && has_reuse(g);
+            let staged =
+                stage && g.memory == MemoryKind::SharedMem && !g.is_written && has_reuse(g);
             let tile_fp = step_footprint(g)?;
             let resident_fp = if staged { tile_fp } else { residency(g)? };
             let block_fp = footprint(&g.representative, |d| {
@@ -454,23 +466,43 @@ impl GpuMapping {
 /// Footprint of a reference as the product of per-subscript extents,
 /// where each dimension contributes `extent(dim)` and multiple iterators
 /// in one subscript add (e.g. `in[i+p]` spans `T_i + T_p − 1`).
-fn footprint<E>(r: &ArrayRef, mut extent: E) -> Result<i64, CompileError>
+fn footprint<E>(r: &ArrayRef, extent: E) -> Result<i64, CompileError>
+where
+    E: FnMut(usize) -> Result<i64, CompileError>,
+{
+    footprint_widened(r, 0, extent)
+}
+
+/// Like [`footprint`], but the fastest-varying subscript's span is widened
+/// by `extra_last` elements — the offset spread of the other members of a
+/// cache-line group (see `RefGroup::fastest_offsets`). Used for sizing
+/// shared-memory staging buffers, where covering every member's access is
+/// a correctness requirement, not a model estimate.
+fn footprint_widened<E>(
+    r: &ArrayRef,
+    extra_last: i64,
+    mut extent: E,
+) -> Result<i64, CompileError>
 where
     E: FnMut(usize) -> Result<i64, CompileError>,
 {
     let mut total = 1i64;
-    for s in &r.subscripts {
+    let last = r.subscripts.len().saturating_sub(1);
+    for (i, s) in r.subscripts.iter().enumerate() {
         let mut span = 0i64;
         let mut parts = 0;
         for &(d, c) in s.terms() {
             span += c.abs().saturating_mul(extent(d)?);
             parts += 1;
         }
-        let span = if parts == 0 {
+        let mut span = if parts == 0 {
             1
         } else {
             (span - (parts - 1)).max(1)
         };
+        if i == last {
+            span += extra_last;
+        }
         total = total.saturating_mul(span);
     }
     Ok(total)
@@ -673,6 +705,63 @@ mod tests {
         assert_eq!(in_ref.tile_footprint_elems, 19 * 35);
         let w = spec.refs.iter().find(|r| r.name == "w").unwrap();
         assert!(w.staged_shared, "w is not CMA-capable and fits shared");
+    }
+
+    #[test]
+    fn written_groups_are_never_staged() {
+        // Regression (oracle finding): A is written but not an accumulation
+        // target, has reuse along k, and is not CMA-capable — the old
+        // staging filter put it in shared memory even though the generated
+        // code never writes staged tiles back to global memory.
+        let p = parse_program(
+            "kernel wb(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 A[j][2*i] = A[j][2*i] + B[i][j][k];
+             }",
+        )
+        .unwrap();
+        let m = GpuMapping::compute(
+            &p.kernels[0],
+            &TileConfig::new(vec![4, 4, 4]),
+            &GpuArch::ga100(),
+            &sizes(64),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let a = m.refs.iter().find(|r| r.group.array == "A").unwrap();
+        assert!(a.group.is_written);
+        assert!(!a.staged, "written groups must stay in global memory");
+        assert_eq!(m.shared_bytes, 0);
+    }
+
+    #[test]
+    fn staging_box_covers_member_offset_spread() {
+        // Regression (oracle finding): x[k-1] and x[k+1] share one group
+        // whose staged box must span tile + (max_off - min_off) elements,
+        // not just the representative's tile elements.
+        let p = parse_program(
+            "kernel sm(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 C[i][j] += w[k] * (x[k-1] + x[k+1]);
+             }",
+        )
+        .unwrap();
+        let m = GpuMapping::compute(
+            &p.kernels[0],
+            &TileConfig::new(vec![8, 8, 8]),
+            &GpuArch::ga100(),
+            &sizes(64),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let x = m.refs.iter().find(|r| r.group.array == "x").unwrap();
+        assert!(x.staged);
+        assert_eq!(x.group.fastest_offsets, (-1, 1));
+        assert_eq!(x.tile_footprint_elems, 10, "8-wide tile + spread of 2");
+        let w = m.refs.iter().find(|r| r.group.array == "w").unwrap();
+        assert!(w.staged);
+        assert_eq!(w.tile_footprint_elems, 8);
+        assert_eq!(m.shared_bytes, (10 + 8) * 8);
     }
 
     #[test]
