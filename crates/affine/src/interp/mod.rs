@@ -1,4 +1,4 @@
-//! A reference interpreter for the affine IR.
+//! An interpreter for the affine IR.
 //!
 //! Executes programs on real (small) arrays, giving the IR an executable
 //! semantics independent of any GPU. Used by the test suite to prove
@@ -14,17 +14,55 @@
 //! Arrays are dense row-major `f64` buffers indexed by the reference
 //! subscripts; out-of-bounds accesses (stencil halos) read 0 and drop
 //! writes, matching padded-array conventions.
+//!
+//! # Two execution engines
+//!
+//! The module-level entry points ([`run_program`], [`run_kernel`],
+//! [`run_kernel_tiled`]) compile each kernel into an
+//! [`ExecPlan`](crate::plan::ExecPlan) — arrays resolved to dense store
+//! slots, subscripts lowered to linear address functions, right-hand
+//! sides flattened to postfix opcode tapes — and execute through the
+//! plan. The original tree-walking interpreter is retained verbatim in
+//! [`reference`] and remains the executable specification; the fast path
+//! is differentially proven to produce bitwise-identical stores.
 
-use crate::ir::{ArrayRef, Kernel, Program, RhsExpr, Statement};
+use crate::ir::{ArrayRef, Kernel, Program};
 use crate::tiling::TiledNest;
 use crate::ProblemSizes;
 use std::collections::BTreeMap;
 use std::fmt;
 
+pub mod reference;
+
+pub use reference::{exec_point, exec_point_hooked};
+
+/// Maximum array rank (and subscript count) the fixed-size index buffers
+/// cover; deeper shapes fall back to heap buffers or the reference
+/// interpreter.
+pub const MAX_RANK: usize = 8;
+
 /// A dense row-major array store.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Arrays live in insertion-ordered slots (`Vec<Array>`) with a name
+/// index on the side, so compiled execution plans can address them by
+/// dense slot number instead of string key. Replacing an array via
+/// [`Store::insert`] reuses its slot.
+#[derive(Debug, Clone, Default)]
 pub struct Store {
-    arrays: BTreeMap<String, Array>,
+    slots: Vec<Array>,
+    index: BTreeMap<String, usize>,
+}
+
+impl PartialEq for Store {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical equality: the same name → array mapping, regardless of
+        // the slot order the insertion history produced.
+        self.index.len() == other.index.len()
+            && self
+                .arrays()
+                .zip(other.arrays())
+                .all(|((na, aa), (nb, ab))| na == nb && aa == ab)
+    }
 }
 
 /// One dense array.
@@ -50,28 +88,26 @@ impl Array {
     }
 
     /// Builds an array from extents and a fill function over indices.
+    ///
+    /// The buffer is filled through a single linear cursor: the row-major
+    /// multi-index is maintained incrementally rather than re-flattened
+    /// per element.
     pub fn from_fn(extents: Vec<i64>, mut f: impl FnMut(&[i64]) -> f64) -> Self {
         let mut a = Array::zeros(extents);
-        let extents = a.extents.clone();
-        let mut idx = vec![0i64; extents.len()];
-        loop {
-            let v = f(&idx);
-            let flat = a.flatten(&idx).expect("in-bounds enumeration");
-            a.data[flat] = v;
-            // Increment the multi-index.
-            let mut d = extents.len();
-            loop {
-                if d == 0 {
-                    return a;
-                }
-                d -= 1;
+        let mut idx = vec![0i64; a.extents.len()];
+        for slot in a.data.iter_mut() {
+            *slot = f(&idx);
+            // Advance the odometer (last dimension fastest); it runs out
+            // exactly when the linear cursor does.
+            for d in (0..idx.len()).rev() {
                 idx[d] += 1;
-                if idx[d] < extents[d] {
+                if idx[d] < a.extents[d] {
                     break;
                 }
                 idx[d] = 0;
             }
         }
+        a
     }
 
     /// Array extents.
@@ -82,6 +118,11 @@ impl Array {
     /// Raw data, row-major.
     pub fn data(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Raw data, row-major, mutable.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Value at a multi-index (0.0 when out of bounds).
@@ -142,19 +183,51 @@ impl Store {
         Store::default()
     }
 
-    /// Inserts (or replaces) an array.
+    /// Inserts (or replaces) an array. A replaced array keeps its slot.
     pub fn insert(&mut self, name: impl Into<String>, array: Array) {
-        self.arrays.insert(name.into(), array);
+        let name = name.into();
+        match self.index.get(&name) {
+            Some(&slot) => self.slots[slot] = array,
+            None => {
+                self.index.insert(name, self.slots.len());
+                self.slots.push(array);
+            }
+        }
     }
 
-    /// Looks an array up.
+    /// Looks an array up by name.
     pub fn get(&self, name: &str) -> Option<&Array> {
-        self.arrays.get(name)
+        self.index.get(name).map(|&slot| &self.slots[slot])
+    }
+
+    /// Looks an array up by name, mutably.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Array> {
+        match self.index.get(name) {
+            Some(&slot) => Some(&mut self.slots[slot]),
+            None => None,
+        }
+    }
+
+    /// The dense slot number of an array, stable across replacement.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The array in a slot previously returned by [`Store::slot`].
+    pub fn slot_array(&self, slot: usize) -> &Array {
+        &self.slots[slot]
+    }
+
+    /// The array in a slot, mutably.
+    pub fn slot_array_mut(&mut self, slot: usize) -> &mut Array {
+        &mut self.slots[slot]
     }
 
     /// Iterates over `(name, array)` pairs in name order.
     pub fn arrays(&self) -> impl Iterator<Item = (&str, &Array)> {
-        self.arrays.iter().map(|(k, v)| (k.as_str(), v))
+        self.index
+            .iter()
+            .map(|(k, &slot)| (k.as_str(), &self.slots[slot]))
     }
 
     /// Pre-allocates every array a program touches (zeros), sizing each
@@ -173,7 +246,7 @@ impl Store {
             for stmt in &kernel.stmts {
                 for r in std::iter::once(&stmt.write).chain(stmt.reads.iter()) {
                     let extents = self.extents_of(kernel, r, sizes)?;
-                    match self.arrays.get(&r.array) {
+                    match self.get(&r.array) {
                         Some(existing) if existing.extents().len() >= extents.len() => {}
                         _ => {
                             self.insert(r.array.clone(), Array::zeros(extents));
@@ -217,87 +290,6 @@ impl Store {
 /// `eatss-ppcg` GPU emulator) to route reads through staged
 /// shared-memory buffers.
 pub type ReadHook<'a> = dyn FnMut(&ArrayRef, &[i64]) -> Option<f64> + 'a;
-
-fn eval_rhs(
-    e: &RhsExpr,
-    stmt: &Statement,
-    store: &Store,
-    point: &[i64],
-    hook: &mut ReadHook<'_>,
-) -> f64 {
-    match e {
-        RhsExpr::Num(v) => *v,
-        RhsExpr::Ref(i) => {
-            let r = &stmt.reads[*i];
-            read_ref(r, store, point, hook)
-        }
-        RhsExpr::Bin(op, a, b) => {
-            let x = eval_rhs(a, stmt, store, point, hook);
-            let y = eval_rhs(b, stmt, store, point, hook);
-            match op {
-                '+' => x + y,
-                '-' => x - y,
-                '*' => x * y,
-                '/' => x / y,
-                _ => f64::NAN,
-            }
-        }
-        RhsExpr::Neg(a) => -eval_rhs(a, stmt, store, point, hook),
-    }
-}
-
-fn read_ref(r: &ArrayRef, store: &Store, point: &[i64], hook: &mut ReadHook<'_>) -> f64 {
-    let idx: Vec<i64> = r.subscripts.iter().map(|s| s.eval(point)).collect();
-    if let Some(v) = hook(r, &idx) {
-        return v;
-    }
-    let array = match store.get(&r.array) {
-        Some(a) => a,
-        None => return 0.0,
-    };
-    if r.subscripts.is_empty() {
-        return array.get(&[0]);
-    }
-    array.get(&idx)
-}
-
-/// Executes every statement of `kernel` at one iteration point, in textual
-/// order, over the store. This is the per-point semantics shared by all
-/// execution orders ([`run_kernel`], [`run_kernel_tiled`], and external
-/// executors such as the GPU emulator in `eatss-ppcg`).
-pub fn exec_point(kernel: &Kernel, store: &mut Store, point: &[i64]) {
-    exec_point_hooked(kernel, store, point, &mut |_, _| None);
-}
-
-/// Like [`exec_point`], but right-hand-side reads are first offered to
-/// `hook` (see [`ReadHook`]). The implicit read of an accumulation target
-/// (`+=`) always goes to the store: accumulated references live in
-/// L1/registers on the GPU, never in staged shared memory.
-pub fn exec_point_hooked(
-    kernel: &Kernel,
-    store: &mut Store,
-    point: &[i64],
-    hook: &mut ReadHook<'_>,
-) {
-    for stmt in &kernel.stmts {
-        let value = eval_rhs(&stmt.rhs, stmt, store, point, hook);
-        let idx: Vec<i64> = if stmt.write.subscripts.is_empty() {
-            vec![0]
-        } else {
-            stmt.write.subscripts.iter().map(|s| s.eval(point)).collect()
-        };
-        let array = match store.arrays.get_mut(&stmt.write.array) {
-            Some(a) => a,
-            None => continue,
-        };
-        if stmt.is_accumulation {
-            let old = array.get(&idx);
-            array.set(&idx, old + value);
-        } else {
-            array.set(&idx, value);
-        }
-    }
-}
 
 /// One element-wise disagreement between two stores.
 #[derive(Debug, Clone, PartialEq)]
@@ -366,7 +358,8 @@ fn unflatten(mut flat: i64, extents: &[i64]) -> Vec<i64> {
     idx
 }
 
-/// Executes a whole program in source order over the store.
+/// Executes a whole program in source order over the store, through
+/// compiled execution plans (see the module docs).
 ///
 /// # Errors
 ///
@@ -384,7 +377,11 @@ pub fn run_program(
     Ok(())
 }
 
-/// Executes one kernel in lexicographic iteration order.
+/// Executes one kernel in lexicographic iteration order through a
+/// compiled [`ExecPlan`](crate::plan::ExecPlan). Kernels the plan
+/// compiler cannot lower (rank or expression depth beyond its fixed
+/// buffers) fall back to [`reference::run_kernel`]; results are bitwise
+/// identical either way.
 ///
 /// # Errors
 ///
@@ -398,13 +395,26 @@ pub fn run_kernel(
         .map(|d| kernel.trip_count(d, sizes))
         .collect::<Result<_, _>>()
         .map_err(InterpError::UnboundParameter)?;
-    let mut point = vec![0i64; trips.len()];
     if trips.iter().any(|&t| t <= 0) {
         return Ok(());
     }
+    let plan = match crate::plan::ExecPlan::compile(kernel, &trips, store) {
+        Some(plan) => plan,
+        None => return reference::run_kernel(kernel, sizes, store),
+    };
+    let mut point = vec![0i64; trips.len()];
+    if point.is_empty() {
+        plan.exec_point(store, &point);
+        return Ok(());
+    }
+    // The innermost dimension runs as a row: linear addresses advance by
+    // a precomputed stride instead of being re-derived per point.
+    let mut scratch = plan.scratch();
+    let last = trips.len() - 1;
     loop {
-        exec_point(kernel, store, &point);
-        let mut d = trips.len();
+        point[last] = 0;
+        plan.exec_row(store, &mut point, last, trips[last], 1, &mut scratch);
+        let mut d = last;
         loop {
             if d == 0 {
                 return Ok(());
@@ -421,6 +431,7 @@ pub fn run_kernel(
 
 /// Executes one kernel in *tiled* order (tile loops around point loops,
 /// Fig. 4 of the paper) — used to prove tiling is semantics-preserving.
+/// Points execute through a compiled plan, exactly as [`run_kernel`].
 ///
 /// # Errors
 ///
@@ -430,13 +441,74 @@ pub fn run_kernel_tiled(
     sizes: &ProblemSizes,
     store: &mut Store,
 ) -> Result<(), InterpError> {
-    let points = nest
-        .enumerate_points(sizes)
+    let kernel = &nest.kernel;
+    let trips: Vec<i64> = (0..kernel.depth())
+        .map(|d| kernel.trip_count(d, sizes))
+        .collect::<Result<_, _>>()
         .map_err(InterpError::UnboundParameter)?;
-    for point in points {
-        exec_point(&nest.kernel, store, &point);
+    if trips.iter().any(|&t| t <= 0) {
+        return Ok(());
     }
+    let plan = match crate::plan::ExecPlan::compile(kernel, &trips, store) {
+        Some(plan) => plan,
+        None => return reference::run_kernel_tiled(nest, sizes, store),
+    };
+    if trips.is_empty() {
+        plan.exec_point(store, &[]);
+        return Ok(());
+    }
+    let mut scratch = plan.scratch();
+    let mut origin = vec![0i64; trips.len()];
+    tiled_tiles(nest, &plan, &mut scratch, store, &trips, 0, &mut origin);
     Ok(())
+}
+
+/// Tile loops of the tiled execution order: recurse over tile origins,
+/// then run the points of each tile (innermost dimension as a plan row).
+fn tiled_tiles(
+    nest: &TiledNest,
+    plan: &crate::plan::ExecPlan,
+    scratch: &mut crate::plan::RowScratch,
+    store: &mut Store,
+    trips: &[i64],
+    dim: usize,
+    origin: &mut Vec<i64>,
+) {
+    if dim == trips.len() {
+        let mut point = origin.clone();
+        tiled_points(nest, plan, scratch, store, trips, 0, origin, &mut point);
+        return;
+    }
+    let step = nest.tile(dim);
+    let mut t = 0;
+    while t < trips[dim] {
+        origin[dim] = t;
+        tiled_tiles(nest, plan, scratch, store, trips, dim + 1, origin);
+        t += step;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tiled_points(
+    nest: &TiledNest,
+    plan: &crate::plan::ExecPlan,
+    scratch: &mut crate::plan::RowScratch,
+    store: &mut Store,
+    trips: &[i64],
+    dim: usize,
+    origin: &[i64],
+    point: &mut Vec<i64>,
+) {
+    let upper = trips[dim].min(origin[dim] + nest.tile(dim));
+    if dim == trips.len() - 1 {
+        point[dim] = origin[dim];
+        plan.exec_row(store, point, dim, upper - origin[dim], 1, scratch);
+        return;
+    }
+    for v in origin[dim]..upper {
+        point[dim] = v;
+        tiled_points(nest, plan, scratch, store, trips, dim + 1, origin, point);
+    }
 }
 
 #[cfg(test)]
@@ -610,6 +682,42 @@ mod tests {
         a.set(&[-1, 0], 5.0); // dropped
         assert!(a.data().iter().sum::<f64>() == 9.0);
         assert_eq!(a.extents(), &[2, 3]);
+    }
+
+    #[test]
+    fn from_fn_enumerates_row_major() {
+        // The linear-cursor fill must visit every index exactly once, in
+        // row-major order, with the right multi-index at each element.
+        let a = Array::from_fn(vec![2, 3, 4], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(a.get(&[i, j, k]), (i * 100 + j * 10 + k) as f64);
+                }
+            }
+        }
+        // 1-element and rank-1 arrays run through the same cursor.
+        assert_eq!(Array::from_fn(vec![1], |_| 7.0).get(&[0]), 7.0);
+        let ramp = Array::from_fn(vec![5], |i| i[0] as f64);
+        assert_eq!(ramp.data(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn store_replacement_keeps_slots_and_equality_is_logical() {
+        let mut a = Store::new();
+        a.insert("x", Array::zeros(vec![2]));
+        a.insert("y", Array::zeros(vec![3]));
+        let x_slot = a.slot("x").unwrap();
+        a.insert("x", Array::from_fn(vec![2], |i| i[0] as f64));
+        assert_eq!(a.slot("x").unwrap(), x_slot, "replacement keeps the slot");
+        assert_eq!(a.get("x").unwrap().get(&[1]), 1.0);
+        // Equality ignores insertion order.
+        let mut b = Store::new();
+        b.insert("y", Array::zeros(vec![3]));
+        b.insert("x", Array::from_fn(vec![2], |i| i[0] as f64));
+        assert_eq!(a, b);
+        b.insert("y", Array::zeros(vec![4]));
+        assert_ne!(a, b);
     }
 
     #[test]

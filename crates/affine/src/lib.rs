@@ -46,6 +46,7 @@ pub mod analysis;
 pub mod interp;
 pub mod ir;
 pub mod parser;
+pub mod plan;
 pub mod pretty;
 pub mod tiling;
 pub mod transform;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p eatss-bench --bin oracle_sweep -- \
-//!     [--seed N] [--random N] [--space-cap N] [--time-cap N]
+//!     [--seed N] [--random N] [--space-cap N] [--time-cap N] [--jobs N]
 //! ```
 //!
 //! For every PolyBench kernel, runs solve → map → emulate on shrunk
@@ -11,33 +11,21 @@
 //! pinned adversarial configurations, and `--random` seeded samples of
 //! the tile space (non-divisible boundaries included by construction).
 //! The seed is printed so any failure is reproducible; it can also be
-//! set via `EATSS_ORACLE_SEED`. Exits non-zero on the first mismatch
-//! count > 0.
+//! set via `EATSS_ORACLE_SEED`. With `--jobs N` benchmarks are verified
+//! by N worker threads; random samples come from per-benchmark seeded
+//! RNGs, so the output is byte-identical to the sequential run (see
+//! `eatss_bench::oracle`). Exits non-zero on a failure count > 0.
 
-use eatss::{Eatss, EatssConfig, EatssError};
-use eatss_affine::tiling::TileConfig;
-use eatss_affine::{ProblemSizes, Program};
-use eatss_gpusim::GpuArch;
-use eatss_ppcg::oracle::{sample_tile_config, sweep_rng, verify_sizes};
-use eatss_ppcg::{verify, OracleError, OracleOptions};
+use eatss_bench::oracle::{run_oracle_sweep, OracleSweepOptions};
 use std::process::ExitCode;
 
-struct Options {
-    seed: u64,
-    random: usize,
-    space_cap: i64,
-    time_cap: i64,
-}
-
-fn parse_args() -> Result<Options, String> {
-    let mut opts = Options {
+fn parse_args() -> Result<OracleSweepOptions, String> {
+    let mut opts = OracleSweepOptions {
         seed: std::env::var("EATSS_ORACLE_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or(0xEA75_50AC),
-        random: 8,
-        space_cap: 17,
-        time_cap: 3,
+            .unwrap_or(OracleSweepOptions::default().seed),
+        ..OracleSweepOptions::default()
     };
     let mut args = std::env::args().skip(1);
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -58,21 +46,13 @@ fn parse_args() -> Result<Options, String> {
             "--time-cap" => {
                 opts.time_cap = parse("--time-cap", next_value(&mut args, "--time-cap")?)?;
             }
+            "--jobs" => {
+                opts.jobs = parse("--jobs", next_value(&mut args, "--jobs")?)?.max(1) as usize;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
-}
-
-/// Max trip count per dim position across kernels — the sampling domain.
-fn trips(program: &Program, sizes: &ProblemSizes) -> Vec<i64> {
-    let mut out = vec![1i64; program.max_depth()];
-    for k in &program.kernels {
-        for (d, slot) in out.iter_mut().enumerate().take(k.depth()) {
-            *slot = (*slot).max(k.trip_count(d, sizes).unwrap_or(1));
-        }
-    }
-    out
 }
 
 fn main() -> ExitCode {
@@ -81,90 +61,14 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: oracle_sweep [--seed N] [--random N] [--space-cap N] [--time-cap N]"
+                "usage: oracle_sweep [--seed N] [--random N] [--space-cap N] [--time-cap N] [--jobs N]"
             );
             return ExitCode::from(2);
         }
     };
-    println!(
-        "oracle sweep: seed {} ({} random config(s)/benchmark, caps {}/{})",
-        opts.seed, opts.random, opts.space_cap, opts.time_cap
-    );
-    let arch = GpuArch::ga100();
-    let eatss = Eatss::new(arch.clone());
-    let oracle_opts = OracleOptions::default();
-    let mut rng = sweep_rng(opts.seed);
-    let mut configs = 0u64;
-    let mut points = 0u64;
-    let mut failures = 0u64;
-
-    for bench in eatss_kernels::polybench() {
-        let program = match bench.program() {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{}: registry parse error: {e}", bench.name);
-                failures += 1;
-                continue;
-            }
-        };
-        let std_sizes = bench.sizes(eatss_kernels::Dataset::Standard);
-        let cap = if program.max_depth() >= 4 {
-            opts.space_cap.min(9)
-        } else {
-            opts.space_cap
-        };
-        let sizes = verify_sizes(&program, &std_sizes, cap, opts.time_cap);
-        let trips = trips(&program, &sizes);
-        let depth = program.max_depth();
-
-        let mut plan: Vec<(String, TileConfig)> = vec![
-            ("32^d".into(), TileConfig::ppcg_default(depth)),
-            ("1^d".into(), TileConfig::new(vec![1; depth])),
-            (
-                "trip+1".into(),
-                TileConfig::new(trips.iter().map(|t| t + 1).collect()),
-            ),
-        ];
-        match eatss.select_tiles(&program, &std_sizes, &EatssConfig::default()) {
-            Ok(solution) => plan.push(("EATSS".into(), solution.tiles)),
-            Err(EatssError::Unsatisfiable { .. }) => {
-                println!("  {}: EATSS selection unsatisfiable (skipped)", bench.name);
-            }
-            Err(e) => {
-                eprintln!("  {}: EATSS selection failed: {e}", bench.name);
-                failures += 1;
-            }
-        }
-        for i in 0..opts.random {
-            plan.push((format!("random#{i}"), sample_tile_config(&mut rng, &trips)));
-        }
-
-        for (label, tiles) in &plan {
-            match verify(&program, tiles, &arch, &sizes, &oracle_opts, opts.seed) {
-                Ok(report) => {
-                    configs += 1;
-                    points += report.points;
-                }
-                Err(OracleError::Compile(e)) => {
-                    // Mapping rejections (e.g. too few tile sizes) are not
-                    // oracle findings; report and move on.
-                    println!("  {} {label} {tiles}: not mappable: {e}", bench.name);
-                }
-                Err(e) => {
-                    eprintln!("FAIL {} {label} {tiles}: {e}", bench.name);
-                    failures += 1;
-                }
-            }
-        }
-        println!("  {}: {} config(s) checked", bench.name, plan.len());
-    }
-
-    println!(
-        "oracle sweep: {configs} config(s), {points} point(s) executed, \
-         {failures} failure(s) [seed {}]",
-        opts.seed
-    );
-    if failures > 0 {
+    let summary = run_oracle_sweep(&opts);
+    print!("{}", summary.report);
+    if summary.failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

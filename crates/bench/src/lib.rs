@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod oracle;
 pub mod table;
 
 pub use explore::{explore_space, BaselineSummary, Variant};

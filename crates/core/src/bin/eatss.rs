@@ -347,6 +347,7 @@ fn run(opts: &Options) -> Result<(), String> {
             ("32^d", TileConfig::ppcg_default(program.max_depth())),
         ];
         for (label, tiles) in &configs {
+            let started = std::time::Instant::now();
             match eatss_ppcg::verify(
                 &program,
                 tiles,
@@ -355,15 +356,21 @@ fn run(opts: &Options) -> Result<(), String> {
                 &oracle_opts,
                 opts.verify_seed,
             ) {
-                Ok(report) => println!(
-                    "verify {label:<6}: OK — {} point(s), {} block(s), \
-                     {} staged elem(s), {} array(s) bitwise-equal (seed {})",
-                    report.points,
-                    report.blocks,
-                    report.staged_elems,
-                    report.arrays_compared,
-                    opts.verify_seed
-                ),
+                Ok(report) => {
+                    let wall = started.elapsed().as_secs_f64();
+                    println!(
+                        "verify {label:<6}: OK — {} point(s), {} block(s), \
+                         {} staged elem(s), {} array(s) bitwise-equal \
+                         ({:.1} ms, {:.0} points/s, seed {})",
+                        report.points,
+                        report.blocks,
+                        report.staged_elems,
+                        report.arrays_compared,
+                        wall * 1e3,
+                        report.points as f64 / wall.max(1e-9),
+                        opts.verify_seed
+                    )
+                }
                 Err(e) => {
                     return Err(format!("verify {label}: {e}"));
                 }

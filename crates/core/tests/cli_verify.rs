@@ -41,7 +41,7 @@ fn verify_seed_is_reported_for_reproducibility() {
         .expect("spawn eatss");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("(seed 1234)"), "{stdout}");
+    assert!(stdout.contains("seed 1234)"), "{stdout}");
 }
 
 #[test]

@@ -14,6 +14,20 @@
 //! element is owned by one thread, and the per-element accumulation order
 //! is ascending serial order in both executions).
 //!
+//! # Execution engines
+//!
+//! By default each kernel is compiled once per
+//! [`execute_mapped_kernel`] call into an
+//! [`ExecPlan`](eatss_affine::plan::ExecPlan): reads that match a staged
+//! group are pre-routed to its buffer at compile time (one slot lookup
+//! instead of a string-compare group search per read per point), all
+//! other accesses lower to linear address functions, and the RHS runs as
+//! a postfix opcode tape. [`ExecEngine::Reference`] forces the original
+//! per-point tree-walk through
+//! [`exec_point_hooked`](eatss_affine::interp::exec_point_hooked); both
+//! engines produce bitwise-identical stores and identical [`ExecStats`]
+//! (differentially tested over the whole benchmark suite).
+//!
 //! What is *not* modeled: warp scheduling, memory timing, and racy
 //! unsynchronized accesses (blocks and threads are independent by
 //! construction of the mapping, so any interleaving is equivalent —
@@ -21,8 +35,9 @@
 //! exposes deliberately).
 
 use crate::mapping::GpuMapping;
-use eatss_affine::interp::{exec_point_hooked, Store};
+use eatss_affine::interp::{exec_point_hooked, Array, Store};
 use eatss_affine::ir::{ArrayRef, Kernel};
+use eatss_affine::plan::{ExecPlan, RouteSource, RowScratch};
 use eatss_affine::{ProblemSizes, Program};
 use std::fmt;
 
@@ -40,11 +55,26 @@ pub enum BarrierFidelity {
     SkipLoadBarrier,
 }
 
+/// Which execution core runs the statements at each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Compile the kernel into an [`ExecPlan`] (staged reads pre-routed,
+    /// addresses linearized, RHS as an opcode tape). Kernels the plan
+    /// compiler cannot lower silently fall back to the reference walk.
+    #[default]
+    Plan,
+    /// The original tree-walking per-point execution, retained as the
+    /// executable specification the plan engine is tested against.
+    Reference,
+}
+
 /// Emulator knobs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Barrier semantics (see [`BarrierFidelity`]).
     pub barrier_fidelity: BarrierFidelity,
+    /// Execution core (see [`ExecEngine`]).
+    pub engine: ExecEngine,
 }
 
 /// Execution counters, for trace output and harness reporting.
@@ -172,6 +202,61 @@ impl StagedGroup<'_> {
         }
         Some(flat as usize)
     }
+
+    /// Cooperative-load fast path: fills the box from `array` row by row
+    /// (last subscript contiguous), with out-of-bounds elements zero —
+    /// element-for-element what a per-index `Array::get` loop produces.
+    fn load_box(&mut self, array: Option<&Array>) {
+        let elems = self.box_elems() as usize;
+        self.data.clear();
+        self.data.resize(elems, 0.0);
+        let array = match array {
+            Some(a) if a.extents().len() == self.bounds.len() => a,
+            // Missing array or rank mismatch: every read misses → zeros.
+            _ => return,
+        };
+        let n = self.bounds.len();
+        if n == 0 {
+            self.data[0] = array.data()[0];
+            return;
+        }
+        let extents = array.extents();
+        let (last_lo, last_hi) = self.bounds[n - 1];
+        let row_len = (last_hi - last_lo + 1) as usize;
+        // Overlap of the box row with the array's last dimension.
+        let ov_lo = last_lo.max(0);
+        let ov_hi = last_hi.min(extents[n - 1] - 1);
+        let mut strides = vec![1i64; n];
+        for p in (0..n - 1).rev() {
+            strides[p] = strides[p + 1] * extents[p + 1];
+        }
+        let mut idx: Vec<i64> = self.bounds[..n - 1].iter().map(|&(lo, _)| lo).collect();
+        for row in 0..elems / row_len {
+            let mut base = 0i64;
+            let mut oob = false;
+            for (p, &v) in idx.iter().enumerate() {
+                if v < 0 || v >= extents[p] {
+                    oob = true;
+                    break;
+                }
+                base += v * strides[p];
+            }
+            if !oob && ov_lo <= ov_hi {
+                let dst_off = row * row_len + (ov_lo - last_lo) as usize;
+                let len = (ov_hi - ov_lo + 1) as usize;
+                let src = (base + ov_lo) as usize;
+                self.data[dst_off..dst_off + len]
+                    .copy_from_slice(&array.data()[src..src + len]);
+            }
+            for p in (0..idx.len()).rev() {
+                idx[p] += 1;
+                if idx[p] <= self.bounds[p].1 {
+                    break;
+                }
+                idx[p] = self.bounds[p].0;
+            }
+        }
+    }
 }
 
 /// Two refs access the same staged lines iff they agree on everything but
@@ -185,6 +270,72 @@ fn same_group(a: &ArrayRef, b: &ArrayRef) -> bool {
     a.subscripts.iter().zip(&b.subscripts).enumerate().all(|(p, (sa, sb))| {
         sa.terms() == sb.terms() && (p == last || sa.offset() == sb.offset())
     })
+}
+
+/// The per-kernel execution core, chosen once per launch loop.
+enum KernelExec {
+    Plan(ExecPlan),
+    Reference,
+}
+
+/// Serves the plan's pre-routed staged reads, with the same
+/// out-of-box accounting as the reference hook: the first failure is
+/// recorded, the read returns 0.
+struct StagedRouter<'k, 'a> {
+    staged: &'a [StagedGroup<'k>],
+    kernel: &'a str,
+    failure: Option<ExecError>,
+}
+
+impl StagedRouter<'_, '_> {
+    fn record_out_of_box(&mut self, array: &str, index: &[i64]) {
+        if self.failure.is_none() {
+            self.failure = Some(ExecError::StagedReadOutOfBox {
+                kernel: self.kernel.to_owned(),
+                array: array.to_owned(),
+                index: index.to_vec(),
+            });
+        }
+    }
+}
+
+impl RouteSource for StagedRouter<'_, '_> {
+    fn read(&mut self, route: usize, index: &[i64]) -> f64 {
+        let g = &self.staged[route];
+        match g.flatten(index) {
+            Some(flat) => g.data[flat],
+            None => {
+                self.record_out_of_box(&g.array, index);
+                0.0
+            }
+        }
+    }
+
+    fn row(&mut self, route: usize, start: &[i64], delta: &[i64], count: i64) -> Option<(i64, i64)> {
+        // Subscripts move monotonically along a row, so checking the two
+        // endpoints against the box proves the whole row stays inside it;
+        // the box flatten is then linear in the subscripts.
+        let g = &self.staged[route];
+        if start.len() != g.bounds.len() {
+            return None;
+        }
+        let mut flat = 0i64;
+        let mut flat_delta = 0i64;
+        for ((&s, &d), &(lo, hi)) in start.iter().zip(delta).zip(&g.bounds) {
+            let last = s + (count - 1) * d;
+            if s.min(last) < lo || s.max(last) > hi {
+                return None;
+            }
+            let extent = hi - lo + 1;
+            flat = flat * extent + (s - lo);
+            flat_delta = flat_delta * extent + d;
+        }
+        Some((flat, flat_delta))
+    }
+
+    fn read_flat(&mut self, route: usize, flat: i64) -> f64 {
+        self.staged[route].data[flat as usize]
+    }
 }
 
 /// Executes one compiled kernel over the store.
@@ -246,6 +397,47 @@ pub fn execute_mapped_kernel(
         });
     }
 
+    // Choose the execution core once per kernel: staged reads resolve to
+    // their route here, at compile time, instead of a group search per
+    // read per point.
+    let exec = match opts.engine {
+        ExecEngine::Reference => KernelExec::Reference,
+        ExecEngine::Plan => {
+            match ExecPlan::compile_routed(kernel, &trips, store, |r| {
+                staged
+                    .iter()
+                    .position(|g| g.array == r.array && same_group(g.representative, r))
+            }) {
+                Some(plan) => KernelExec::Plan(plan),
+                None => KernelExec::Reference,
+            }
+        }
+    };
+    let mut scratch = match &exec {
+        KernelExec::Plan(plan) => plan.scratch(),
+        KernelExec::Reference => RowScratch::default(),
+    };
+
+    // Thread coordinates in linear order, x fastest (CUDA convention) —
+    // built once per kernel, shared by every launch and tile step.
+    let threads_total: i64 = mapping.thread_extents.iter().product();
+    let thread_coords: Vec<Vec<i64>> = {
+        let mut all = Vec::with_capacity(threads_total as usize);
+        let mut c = vec![0i64; mapping.thread_extents.len()];
+        'outer: loop {
+            all.push(c.clone());
+            for (p, v) in c.iter_mut().enumerate() {
+                *v += 1;
+                if *v < mapping.thread_extents[p] {
+                    continue 'outer;
+                }
+                *v = 0;
+            }
+            break;
+        }
+        all
+    };
+
     // --- launch loop over time-dim values ----------------------------------
     let mut tvals: Vec<i64> = vec![0; time_dims.len()];
     loop {
@@ -257,6 +449,9 @@ pub fn execute_mapped_kernel(
             &time_dims,
             &tvals,
             &serial_dims,
+            &thread_coords,
+            &exec,
+            &mut scratch,
             &mut staged,
             store,
             opts,
@@ -293,6 +488,9 @@ fn run_launch(
     time_dims: &[usize],
     tvals: &[i64],
     serial_dims: &[usize],
+    thread_coords: &[Vec<i64>],
+    exec: &KernelExec,
+    scratch: &mut RowScratch,
     staged: &mut [StagedGroup<'_>],
     store: &mut Store,
     opts: &ExecOptions,
@@ -301,25 +499,6 @@ fn run_launch(
         launches: 1,
         ..ExecStats::default()
     };
-    let threads_total: i64 = mapping.thread_extents.iter().product();
-    // Thread coordinates in linear order, x fastest (CUDA convention).
-    let thread_coords: Vec<Vec<i64>> = {
-        let mut all = Vec::with_capacity(threads_total as usize);
-        let mut c = vec![0i64; mapping.thread_extents.len()];
-        'outer: loop {
-            all.push(c.clone());
-            for (p, v) in c.iter_mut().enumerate() {
-                *v += 1;
-                if *v < mapping.thread_extents[p] {
-                    continue 'outer;
-                }
-                *v = 0;
-            }
-            break;
-        }
-        all
-    };
-
     let mut block = vec![0i64; mapping.grid_extents.len()];
     'blocks: loop {
         stats.blocks += 1;
@@ -355,7 +534,9 @@ fn run_launch(
                 serial_dims,
                 &sorigins,
                 &origins,
-                &thread_coords,
+                thread_coords,
+                exec,
+                scratch,
                 staged,
                 store,
                 opts,
@@ -407,6 +588,8 @@ fn run_step(
     sorigins: &[i64],
     origins: &[i64],
     thread_coords: &[Vec<i64>],
+    exec: &KernelExec,
+    scratch: &mut RowScratch,
     staged: &mut [StagedGroup<'_>],
     store: &mut Store,
     opts: &ExecOptions,
@@ -467,19 +650,7 @@ fn run_step(
             BarrierFidelity::Faithful => {
                 // Cooperative load, then the barrier: the buffer is fully
                 // populated before any thread computes.
-                let array = store.get(&g.array);
-                g.data.clear();
-                let mut idx: Vec<i64> = g.bounds.iter().map(|&(lo, _)| lo).collect();
-                for _ in 0..elems {
-                    g.data.push(array.map_or(0.0, |a| a.get(&idx)));
-                    for p in (0..idx.len()).rev() {
-                        idx[p] += 1;
-                        if idx[p] <= g.bounds[p].1 {
-                            break;
-                        }
-                        idx[p] = g.bounds[p].0;
-                    }
-                }
+                g.load_box(store.get(&g.array));
                 stats.barriers += 1;
             }
             BarrierFidelity::SkipLoadBarrier => {
@@ -520,9 +691,14 @@ fn run_step(
         }
         // Serial point loops (dim order), then mapped cyclic point loops —
         // the loop structure of the generated kernel.
+        let mut router = StagedRouter {
+            staged,
+            kernel: &kernel.name,
+            failure: None,
+        };
         run_thread_points(
             kernel, mapping, trips, tiles, serial_dims, sorigins, origins, coord, &mut point,
-            0, staged, store, stats,
+            0, exec, scratch, &mut router, store, stats,
         )?;
     }
     if !staged.is_empty() {
@@ -533,7 +709,41 @@ fn run_step(
 
 /// Recursively enumerates this thread's points: serial point dims first
 /// (in dim order), then the mapped dims' cyclic loops (x innermost), and
-/// executes the kernel statements at each point through the staging hook.
+/// executes the kernel statements at each point through the chosen engine
+/// (staged reads pre-routed by the plan, or the reference staging hook).
+/// Classification of the mapped cyclic loops strictly inside position
+/// `below` for one thread: do they contribute no point at all, exactly
+/// one (coordinates assigned into `point`), or more than one?
+enum InnerLoops {
+    Empty,
+    Singleton,
+    Multi,
+}
+
+fn inner_mapped_loops(
+    mapping: &GpuMapping,
+    tiles: &[i64],
+    trips: &[i64],
+    origins: &[i64],
+    coord: &[i64],
+    point: &mut [i64],
+    below: usize,
+) -> InnerLoops {
+    for pos in (0..below).rev() {
+        let d = mapping.mapped_dims[pos];
+        let end = (origins[pos] + tiles[d]).min(trips[d]);
+        let start = origins[pos] + coord[pos];
+        if start >= end {
+            return InnerLoops::Empty;
+        }
+        if start + mapping.thread_extents[pos] < end {
+            return InnerLoops::Multi;
+        }
+        point[d] = start;
+    }
+    InnerLoops::Singleton
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_thread_points(
     kernel: &Kernel,
@@ -546,19 +756,44 @@ fn run_thread_points(
     coord: &[i64],
     point: &mut Vec<i64>,
     level: usize,
-    staged: &mut [StagedGroup<'_>],
+    exec: &KernelExec,
+    scratch: &mut RowScratch,
+    router: &mut StagedRouter<'_, '_>,
     store: &mut Store,
     stats: &mut ExecStats,
 ) -> Result<(), ExecError> {
     if level < serial_dims.len() {
         let d = serial_dims[level];
         let end = (sorigins[level] + tiles[d]).min(trips[d]);
+        if level + 1 == serial_dims.len() {
+            // When every mapped cyclic loop is a singleton for this
+            // thread (tile extent ≤ thread extent), the innermost serial
+            // point loop is the hot loop: run it as a plan row.
+            if let KernelExec::Plan(plan) = exec {
+                match inner_mapped_loops(mapping, tiles, trips, origins, coord, point, mapping.mapped_dims.len()) {
+                    InnerLoops::Empty => return Ok(()),
+                    InnerLoops::Singleton => {
+                        let count = end - sorigins[level];
+                        if count > 0 {
+                            stats.points += count as u64;
+                            point[d] = sorigins[level];
+                            plan.exec_row_routed(store, point, d, count, 1, scratch, router);
+                            if let Some(e) = router.failure.take() {
+                                return Err(e);
+                            }
+                        }
+                        return Ok(());
+                    }
+                    InnerLoops::Multi => {}
+                }
+            }
+        }
         let mut v = sorigins[level];
         while v < end {
             point[d] = v;
             run_thread_points(
                 kernel, mapping, trips, tiles, serial_dims, sorigins, origins, coord, point,
-                level + 1, staged, store, stats,
+                level + 1, exec, scratch, router, store, stats,
             )?;
             v += 1;
         }
@@ -570,44 +805,75 @@ fn run_thread_points(
         let pos = mapping.mapped_dims.len() - 1 - m;
         let d = mapping.mapped_dims[pos];
         let end = (origins[pos] + tiles[d]).min(trips[d]);
-        let mut v = origins[pos] + coord[pos];
+        let step = mapping.thread_extents[pos];
+        let start = origins[pos] + coord[pos];
+        // This cyclic loop is the innermost one that iterates when every
+        // loop inside it is a singleton for this thread: run it as a
+        // plan row (point-loop multiplicity > 1, or the x loop itself).
+        if let KernelExec::Plan(plan) = exec {
+            match inner_mapped_loops(mapping, tiles, trips, origins, coord, point, pos) {
+                InnerLoops::Empty => return Ok(()),
+                InnerLoops::Singleton => {
+                    let count = if start < end { (end - start + step - 1) / step } else { 0 };
+                    if count > 0 {
+                        stats.points += count as u64;
+                        point[d] = start;
+                        plan.exec_row_routed(store, point, d, count, step, scratch, router);
+                        if let Some(e) = router.failure.take() {
+                            return Err(e);
+                        }
+                    }
+                    return Ok(());
+                }
+                InnerLoops::Multi => {}
+            }
+        }
+        let mut v = start;
         while v < end {
             point[d] = v;
             run_thread_points(
                 kernel, mapping, trips, tiles, serial_dims, sorigins, origins, coord, point,
-                level + 1, staged, store, stats,
+                level + 1, exec, scratch, router, store, stats,
             )?;
             v += mapping.thread_extents[pos];
         }
         return Ok(());
     }
-    // A full point: execute every statement through the staging read hook.
+    // A full point: execute every statement through the chosen engine.
     stats.points += 1;
-    let mut failure: Option<ExecError> = None;
-    {
-        let staged_ref: &[StagedGroup<'_>] = staged;
-        let kernel_name = &kernel.name;
-        let mut hook = |r: &ArrayRef, idx: &[i64]| -> Option<f64> {
-            let g = staged_ref
-                .iter()
-                .find(|g| g.array == r.array && same_group(g.representative, r))?;
-            match g.flatten(idx) {
-                Some(flat) => Some(g.data[flat]),
-                None => {
-                    if failure.is_none() {
-                        failure = Some(ExecError::StagedReadOutOfBox {
-                            kernel: kernel_name.clone(),
-                            array: r.array.clone(),
-                            index: idx.to_vec(),
-                        });
+    match exec {
+        KernelExec::Plan(plan) => plan.exec_point_routed(store, point, router),
+        KernelExec::Reference => {
+            let staged_ref = router.staged;
+            let mut failure: Option<ExecError> = None;
+            {
+                let kernel_name = router.kernel;
+                let mut hook = |r: &ArrayRef, idx: &[i64]| -> Option<f64> {
+                    let g = staged_ref
+                        .iter()
+                        .find(|g| g.array == r.array && same_group(g.representative, r))?;
+                    match g.flatten(idx) {
+                        Some(flat) => Some(g.data[flat]),
+                        None => {
+                            if failure.is_none() {
+                                failure = Some(ExecError::StagedReadOutOfBox {
+                                    kernel: kernel_name.to_owned(),
+                                    array: r.array.clone(),
+                                    index: idx.to_vec(),
+                                });
+                            }
+                            Some(0.0)
+                        }
                     }
-                    Some(0.0)
-                }
+                };
+                exec_point_hooked(kernel, store, point, &mut hook);
             }
-        };
-        exec_point_hooked(kernel, store, point, &mut hook);
+            if let Some(e) = failure {
+                router.failure.get_or_insert(e);
+            }
+        }
     }
-    match failure {
+    match router.failure.take() {
         Some(e) => Err(e),
         None => Ok(()),
     }
@@ -687,6 +953,25 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_bitwise_with_identical_stats() {
+        for tiles in [vec![4, 4, 4], vec![3, 5, 2], vec![1, 1, 1]] {
+            let sizes: &[(&str, i64)] = &[("M", 9), ("N", 10), ("P", 7)];
+            let plan_opts = ExecOptions::default();
+            let ref_opts = ExecOptions {
+                engine: ExecEngine::Reference,
+                ..ExecOptions::default()
+            };
+            let (plan_store, _, plan_stats) = emulate(MM, tiles.clone(), sizes, &plan_opts);
+            let (ref_store, _, ref_stats) = emulate(MM, tiles.clone(), sizes, &ref_opts);
+            assert!(
+                compare_stores(&plan_store, &ref_store).is_empty(),
+                "tiles {tiles:?}: engines disagree"
+            );
+            assert_eq!(plan_stats, ref_stats, "tiles {tiles:?}: stats diverge");
+        }
+    }
+
+    #[test]
     fn time_loop_kernel_relaunches_per_step() {
         let (emul, reference, stats) = emulate(
             "kernel sweep(T, N) {
@@ -712,6 +997,7 @@ mod tests {
         let faithful = ExecOptions::default();
         let skip = ExecOptions {
             barrier_fidelity: BarrierFidelity::SkipLoadBarrier,
+            ..ExecOptions::default()
         };
         let sizes: &[(&str, i64)] = &[("M", 8), ("N", 8), ("P", 8)];
         let (emul, reference, stats) = emulate(MM, vec![4, 4, 4], sizes, &faithful);

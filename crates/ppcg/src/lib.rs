@@ -49,7 +49,10 @@ pub mod mapping;
 pub mod oracle;
 pub mod space;
 
-pub use exec::{execute_compiled, execute_mapped_kernel, BarrierFidelity, ExecError, ExecOptions, ExecStats};
+pub use exec::{
+    execute_compiled, execute_mapped_kernel, BarrierFidelity, ExecEngine, ExecError, ExecOptions,
+    ExecStats,
+};
 pub use mapping::{CompileError, CompileOptions, GpuMapping};
 pub use oracle::{seed_store, verify, verify_sizes, OracleError, OracleOptions, OracleReport};
 pub use space::TileSpace;

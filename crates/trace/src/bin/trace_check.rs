@@ -2,14 +2,18 @@
 //! smoke job and handy when hacking on the sinks.
 //!
 //! ```text
-//! trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]...
+//! trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... \
+//!             [--expect-counter NAME]...
 //! ```
 //!
 //! For `chrome` (the default) the file must parse as JSON, contain a
 //! non-empty `traceEvents` array of well-formed `trace_events` entries,
 //! and — for each `--expect CAT:NAME` — contain at least one complete
 //! (`"X"`) span with that category and name. For `jsonl` every line must
-//! parse and the first must be a header carrying provenance.
+//! parse and the first must be a header carrying provenance. Each
+//! `--expect-counter NAME` must name a registry counter present in the
+//! trace — a trailing `"C"` sample in `chrome`, a key under
+//! `metrics.counters` in the `jsonl` header.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -34,6 +38,7 @@ fn run() -> Result<String, String> {
     let mut file = None;
     let mut format = TraceFormat::Chrome;
     let mut expects: Vec<String> = Vec::new();
+    let mut expect_counters: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -43,9 +48,12 @@ fn run() -> Result<String, String> {
                     .ok_or_else(|| format!("unknown format '{value}' (jsonl|chrome)"))?;
             }
             "--expect" => expects.push(argv.next().ok_or("--expect needs CAT:NAME")?),
+            "--expect-counter" => {
+                expect_counters.push(argv.next().ok_or("--expect-counter needs NAME")?)
+            }
             "--help" | "-h" => {
                 return Ok(
-                    "usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]..."
+                    "usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... [--expect-counter NAME]..."
                         .to_string(),
                 )
             }
@@ -53,15 +61,15 @@ fn run() -> Result<String, String> {
             _ => return Err(format!("unexpected argument '{arg}'")),
         }
     }
-    let file = file.ok_or("usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]...")?;
+    let file = file.ok_or("usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... [--expect-counter NAME]...")?;
     let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file}: {e}"))?;
     match format {
-        TraceFormat::Chrome => check_chrome(&text, &expects),
-        TraceFormat::Jsonl => check_jsonl(&text, &expects),
+        TraceFormat::Chrome => check_chrome(&text, &expects, &expect_counters),
+        TraceFormat::Jsonl => check_jsonl(&text, &expects, &expect_counters),
     }
 }
 
-fn check_chrome(text: &str, expects: &[String]) -> Result<String, String> {
+fn check_chrome(text: &str, expects: &[String], expect_counters: &[String]) -> Result<String, String> {
     let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = doc
         .get("traceEvents")
@@ -76,6 +84,7 @@ fn check_chrome(text: &str, expects: &[String]) -> Result<String, String> {
         .and_then(Json::as_str)
         .ok_or("missing otherData.provenance.git_sha")?;
     let mut spans: BTreeSet<String> = BTreeSet::new();
+    let mut counters: BTreeSet<String> = BTreeSet::new();
     let mut span_count = 0usize;
     for (i, event) in events.iter().enumerate() {
         let name = event
@@ -103,19 +112,24 @@ fn check_chrome(text: &str, expects: &[String]) -> Result<String, String> {
                 spans.insert(format!("{cat}:{name}"));
                 span_count += 1;
             }
-            "i" | "M" | "C" => {}
+            "C" => {
+                counters.insert(name.to_string());
+            }
+            "i" | "M" => {}
             other => return Err(format!("event {i} ({name}): unexpected ph '{other}'")),
         }
     }
     check_expects(expects, &spans)?;
+    check_expected_counters(expect_counters, &counters)?;
     Ok(format!(
-        "ok: {} trace events, {span_count} spans ({} distinct)",
+        "ok: {} trace events, {span_count} spans ({} distinct), {} counter(s)",
         events.len(),
-        spans.len()
+        spans.len(),
+        counters.len()
     ))
 }
 
-fn check_jsonl(text: &str, expects: &[String]) -> Result<String, String> {
+fn check_jsonl(text: &str, expects: &[String], expect_counters: &[String]) -> Result<String, String> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or("empty file")?;
     let header = Json::parse(header).map_err(|e| format!("invalid header: {e}"))?;
@@ -127,6 +141,12 @@ fn check_jsonl(text: &str, expects: &[String]) -> Result<String, String> {
         .and_then(|p| p.get("git_sha"))
         .and_then(Json::as_str)
         .ok_or("header missing provenance.git_sha")?;
+    let counters: BTreeSet<String> = header
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(Json::as_object)
+        .map(|o| o.keys().cloned().collect())
+        .unwrap_or_default();
     let mut spans: BTreeSet<String> = BTreeSet::new();
     let mut count = 0usize;
     for (i, line) in lines.enumerate() {
@@ -151,7 +171,12 @@ fn check_jsonl(text: &str, expects: &[String]) -> Result<String, String> {
         return Err("no events after header".to_string());
     }
     check_expects(expects, &spans)?;
-    Ok(format!("ok: {count} events, {} distinct spans", spans.len()))
+    check_expected_counters(expect_counters, &counters)?;
+    Ok(format!(
+        "ok: {count} events, {} distinct spans, {} counter(s)",
+        spans.len(),
+        counters.len()
+    ))
 }
 
 fn check_expects(expects: &[String], spans: &BTreeSet<String>) -> Result<(), String> {
@@ -160,6 +185,18 @@ fn check_expects(expects: &[String], spans: &BTreeSet<String>) -> Result<(), Str
             return Err(format!(
                 "expected span '{expect}' not found; present: {}",
                 spans.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_expected_counters(expects: &[String], counters: &BTreeSet<String>) -> Result<(), String> {
+    for expect in expects {
+        if !counters.contains(expect) {
+            return Err(format!(
+                "expected counter '{expect}' not found; present: {}",
+                counters.iter().cloned().collect::<Vec<_>>().join(", ")
             ));
         }
     }

@@ -76,6 +76,14 @@ impl Json {
         }
     }
 
+    /// The contained object's map, if this is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
     /// The contained array, if this is one.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {

@@ -125,6 +125,7 @@ fn oracle_catches_a_wrong_execution() {
     let opts = OracleOptions {
         exec: eatss_ppcg::ExecOptions {
             barrier_fidelity: eatss_ppcg::BarrierFidelity::SkipLoadBarrier,
+            ..eatss_ppcg::ExecOptions::default()
         },
         ..OracleOptions::default()
     };

@@ -1,0 +1,210 @@
+//! Differential proof for the compiled execution plans: the fast paths
+//! — the plan-backed affine interpreter ([`eatss_affine::interp`]) and
+//! the GPU emulator's plan engine ([`eatss_ppcg::ExecEngine::Plan`]) —
+//! must reproduce the retained tree-walking references **bitwise**, with
+//! identical execution counters, for every PolyBench kernel across the
+//! pinned adversarial tile configurations and seeded random samples.
+//!
+//! The benchmark `bench_oracle` in `eatss-bench` measures the same pairs
+//! it proves equal here.
+
+use eatss_affine::interp::{self, compare_stores, Store};
+use eatss_affine::tiling::{TileConfig, TiledNest};
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::GpuArch;
+use eatss_ppcg::oracle::{sample_tile_config, sweep_rng, verify_sizes};
+use eatss_ppcg::{
+    execute_compiled, seed_store, CompileOptions, ExecEngine, ExecOptions, Ppcg,
+};
+use proptest::prelude::*;
+
+const SEED: u64 = 0xEA75_50AC;
+
+fn shrunk(program: &Program, sizes: &ProblemSizes) -> ProblemSizes {
+    // Deep nests get smaller spatial extents to bound point counts.
+    let cap = if program.max_depth() >= 4 { 7 } else { 13 };
+    verify_sizes(program, sizes, cap, 2)
+}
+
+/// Max trip count per dim position across kernels — the sampling domain.
+fn trips(program: &Program, sizes: &ProblemSizes) -> Vec<i64> {
+    let mut out = vec![1i64; program.max_depth()];
+    for k in &program.kernels {
+        for (d, slot) in out.iter_mut().enumerate().take(k.depth()) {
+            *slot = (*slot).max(k.trip_count(d, sizes).unwrap_or(1));
+        }
+    }
+    out
+}
+
+/// The adversarial configurations PR 4's codegen oracle pinned, plus
+/// seeded random samples: single-element tiles, primes (nothing divides
+/// anything), tiles one past the trip count (a single ragged block).
+fn adversarial_tiles(depth: usize, trips: &[i64], random: usize, seed: u64) -> Vec<TileConfig> {
+    let primes = [3i64, 5, 7, 11, 13];
+    let mut tiles = vec![
+        TileConfig::ppcg_default(depth),
+        TileConfig::new(vec![1; depth]),
+        TileConfig::new((0..depth).map(|d| primes[d % primes.len()]).collect()),
+        TileConfig::new(trips.iter().map(|t| t + 1).collect()),
+    ];
+    let mut rng = sweep_rng(seed);
+    for _ in 0..random {
+        tiles.push(sample_tile_config(&mut rng, trips));
+    }
+    tiles
+}
+
+fn assert_bitwise(label: &str, got: &Store, want: &Store) {
+    let mismatches = compare_stores(got, want);
+    assert!(
+        mismatches.is_empty(),
+        "{label}: stores diverge: {}",
+        mismatches[0]
+    );
+}
+
+/// The plan-backed interpreter reproduces the tree-walker bitwise on
+/// untiled whole-program runs.
+#[test]
+fn compiled_interp_matches_reference_on_polybench() {
+    for bench in eatss_kernels::polybench() {
+        let program = bench.program().expect("registry parses");
+        let sizes = shrunk(&program, &bench.sizes(eatss_kernels::Dataset::Standard));
+        let mut fast = seed_store(&program, &sizes, SEED).expect("store seeds");
+        let mut reference = seed_store(&program, &sizes, SEED).expect("store seeds");
+        interp::run_program(&program, &sizes, &mut fast).expect("fast interp");
+        interp::reference::run_program(&program, &sizes, &mut reference).expect("reference interp");
+        assert_bitwise(bench.name, &fast, &reference);
+    }
+}
+
+/// The plan-backed tiled interpreter reproduces the tree-walker bitwise
+/// across adversarial and random tile configurations (non-divisible
+/// boundaries, degenerate tiles, single ragged blocks).
+#[test]
+fn compiled_tiled_interp_matches_reference_on_adversarial_tiles() {
+    for bench in eatss_kernels::polybench() {
+        let program = bench.program().expect("registry parses");
+        let sizes = shrunk(&program, &bench.sizes(eatss_kernels::Dataset::Standard));
+        let trips = trips(&program, &sizes);
+        for (c, tiles) in adversarial_tiles(program.max_depth(), &trips, 4, SEED)
+            .iter()
+            .enumerate()
+        {
+            let mut fast = seed_store(&program, &sizes, SEED).expect("store seeds");
+            let mut reference = seed_store(&program, &sizes, SEED).expect("store seeds");
+            for kernel in &program.kernels {
+                let nest = match TiledNest::new(kernel, tiles) {
+                    Ok(nest) => nest,
+                    // Tile vectors shorter than a kernel's depth are a
+                    // configuration error, not an execution case.
+                    Err(_) => continue,
+                };
+                interp::run_kernel_tiled(&nest, &sizes, &mut fast).expect("fast tiled interp");
+                interp::reference::run_kernel_tiled(&nest, &sizes, &mut reference)
+                    .expect("reference tiled interp");
+            }
+            assert_bitwise(&format!("{} config {c} ({tiles})", bench.name), &fast, &reference);
+        }
+    }
+}
+
+/// The emulator's plan engine reproduces its reference engine bitwise —
+/// same stores *and* identical execution counters — across adversarial
+/// and random configurations of every mappable PolyBench kernel.
+#[test]
+fn plan_engine_matches_reference_engine_on_adversarial_tiles() {
+    let arch = GpuArch::ga100();
+    let ppcg = Ppcg::new(arch);
+    for bench in eatss_kernels::polybench() {
+        let program = bench.program().expect("registry parses");
+        let sizes = shrunk(&program, &bench.sizes(eatss_kernels::Dataset::Standard));
+        let trips = trips(&program, &sizes);
+        for (c, tiles) in adversarial_tiles(program.max_depth(), &trips, 4, SEED)
+            .iter()
+            .enumerate()
+        {
+            let compiled = match ppcg.compile(&program, tiles, &sizes, &CompileOptions::default()) {
+                Ok(compiled) => compiled,
+                // Unmappable configurations are covered by the mapping
+                // tests; there is nothing to execute here.
+                Err(_) => continue,
+            };
+            let label = format!("{} config {c} ({tiles})", bench.name);
+            let mut fast = seed_store(&program, &sizes, SEED).expect("store seeds");
+            let mut reference = seed_store(&program, &sizes, SEED).expect("store seeds");
+            let fast_stats = execute_compiled(
+                &program,
+                &compiled.mappings,
+                &sizes,
+                &mut fast,
+                &ExecOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{label}: plan engine: {e}"));
+            let ref_opts = ExecOptions {
+                engine: ExecEngine::Reference,
+                ..ExecOptions::default()
+            };
+            let ref_stats =
+                execute_compiled(&program, &compiled.mappings, &sizes, &mut reference, &ref_opts)
+                    .unwrap_or_else(|e| panic!("{label}: reference engine: {e}"));
+            assert_eq!(
+                fast_stats, ref_stats,
+                "{label}: execution counters diverge"
+            );
+            assert_bitwise(&label, &fast, &reference);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random tiles over random kernels: both fast paths stay bitwise
+    /// equal to their references.
+    #[test]
+    fn compiled_paths_match_references_on_random_tiles(
+        kernel_idx in 0usize..17,
+        tile_seed in 0u64..1u64 << 32,
+    ) {
+        let benches = eatss_kernels::polybench();
+        let bench = &benches[kernel_idx % benches.len()];
+        let program = bench.program().expect("registry parses");
+        let sizes = shrunk(&program, &bench.sizes(eatss_kernels::Dataset::Standard));
+        let trips = trips(&program, &sizes);
+        let mut rng = sweep_rng(tile_seed);
+        let tiles = sample_tile_config(&mut rng, &trips);
+
+        // Tiled interpretation.
+        let mut fast = seed_store(&program, &sizes, SEED).expect("store seeds");
+        let mut reference = seed_store(&program, &sizes, SEED).expect("store seeds");
+        for kernel in &program.kernels {
+            if let Ok(nest) = TiledNest::new(kernel, &tiles) {
+                interp::run_kernel_tiled(&nest, &sizes, &mut fast).expect("fast tiled interp");
+                interp::reference::run_kernel_tiled(&nest, &sizes, &mut reference)
+                    .expect("reference tiled interp");
+            }
+        }
+        assert_bitwise(&format!("{} interp ({tiles})", bench.name), &fast, &reference);
+
+        // Emulated execution.
+        let ppcg = Ppcg::new(GpuArch::ga100());
+        if let Ok(compiled) = ppcg.compile(&program, &tiles, &sizes, &CompileOptions::default()) {
+            let mut fast = seed_store(&program, &sizes, SEED).expect("store seeds");
+            let mut reference = seed_store(&program, &sizes, SEED).expect("store seeds");
+            let fast_stats = execute_compiled(
+                &program, &compiled.mappings, &sizes, &mut fast, &ExecOptions::default(),
+            ).expect("plan engine");
+            let ref_opts = ExecOptions {
+                engine: ExecEngine::Reference,
+                ..ExecOptions::default()
+            };
+            let ref_stats = execute_compiled(
+                &program, &compiled.mappings, &sizes, &mut reference, &ref_opts,
+            ).expect("reference engine");
+            prop_assert_eq!(fast_stats, ref_stats);
+            assert_bitwise(&format!("{} emulator ({tiles})", bench.name), &fast, &reference);
+        }
+    }
+}
