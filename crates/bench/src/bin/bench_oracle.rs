@@ -77,6 +77,18 @@ struct KernelRow {
     configs: usize,
     interp: EnginePair,
     emulator: EnginePair,
+    /// What [`ExecEngine::Auto`] resolves to for this kernel's domain.
+    auto_engine: &'static str,
+}
+
+/// A kernel whose compiled path is *slower* than its reference
+/// (wall_ratio < 1.0) on one side of the comparison. These are exactly
+/// the cases [`ExecEngine::Auto`] exists to avoid; the bench surfaces
+/// them instead of letting them hide in the aggregate.
+struct Regression {
+    name: String,
+    side: &'static str,
+    wall_ratio: f64,
 }
 
 /// One mappable configuration, compiled once outside any timed region.
@@ -365,7 +377,41 @@ fn main() {
             configs: plans.len(),
             interp,
             emulator,
+            auto_engine: if trips(&program, &sizes).iter().product::<i64>()
+                >= eatss_ppcg::AUTO_PLAN_THRESHOLD_POINTS
+            {
+                "plan"
+            } else {
+                "reference"
+            },
         });
+    }
+
+    // Flag every sub-1.0 wall_ratio: a compiled path that lost to its
+    // reference is a finding, not noise to be averaged away.
+    let mut regressions = Vec::new();
+    for r in &rows {
+        for (side, pair) in [("interp", &r.interp), ("emulator", &r.emulator)] {
+            if pair.wall_ratio() < 1.0 {
+                regressions.push(Regression {
+                    name: r.name.clone(),
+                    side,
+                    wall_ratio: pair.wall_ratio(),
+                });
+            }
+        }
+    }
+    for reg in &regressions {
+        println!(
+            "WARNING: {} {} wall_ratio {:.3} < 1.0 — compiled path slower than reference \
+             (ExecEngine::Auto routes this domain to `{}`)",
+            reg.name,
+            reg.side,
+            reg.wall_ratio,
+            rows.iter()
+                .find(|r| r.name == reg.name)
+                .map_or("?", |r| r.auto_engine),
+        );
     }
 
     let sum = |f: &dyn Fn(&KernelRow) -> f64| -> f64 { rows.iter().map(f).sum() };
@@ -390,18 +436,30 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"configs\": {}, \"points\": {}, \"interp\": {}, \"emulator\": {}}}{}",
+            "    {{\"name\": \"{}\", \"configs\": {}, \"points\": {}, \"auto_engine\": \"{}\", \"interp\": {}, \"emulator\": {}}}{}",
             r.name,
             r.configs,
             r.interp.fast.points,
+            r.auto_engine,
             pair_json(&r.interp),
             pair_json(&r.emulator),
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
+    json.push_str("  ],\n  \"regressions\": [");
+    for (i, reg) in regressions.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"name\": \"{}\", \"side\": \"{}\", \"wall_ratio\": {:.3}}}",
+            if i == 0 { "" } else { ", " },
+            reg.name,
+            reg.side,
+            reg.wall_ratio
+        );
+    }
     let _ = write!(
         json,
-        "  ],\n  \"aggregate\": {{\"kernels\": {}, \"configs\": {}, \"points\": {}, \
+        "],\n  \"aggregate\": {{\"kernels\": {}, \"configs\": {}, \"points\": {}, \
          \"interp\": {{\"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}, \
          \"emulator\": {{\"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}, \
          \"wall_ratio\": {:.3}}}\n}}\n",

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! eatss <kernel.eatss | benchmark-name> [options]
+//! eatss serve [daemon flags]     run the tuning service (delegates to
+//!                                the sibling `eatss-serve` binary)
 //!
 //! options:
 //!   --kernel NAME              alias for the positional input
@@ -63,9 +65,30 @@ fn usage() -> ExitCode {
          [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate] \
          [--verify] [--verify-seed N] \
          [--trace OUT.json] [--trace-format jsonl|chrome] \
-         [--log-level off|error|info|debug]"
+         [--log-level off|error|info|debug]\n       \
+         eatss serve [daemon flags]   run the tuning service (see `eatss-serve --help`)"
     );
     ExitCode::from(2)
+}
+
+/// Spawns the `eatss-serve` daemon: the binary next to this one if it
+/// exists (the cargo layout), else whatever `PATH` resolves.
+fn run_serve(args: Vec<String>) -> ExitCode {
+    let program = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("eatss-serve")))
+        .filter(|sibling| sibling.exists())
+        .unwrap_or_else(|| std::path::PathBuf::from("eatss-serve"));
+    match std::process::Command::new(&program).args(&args).status() {
+        Ok(status) => ExitCode::from(status.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(e) => {
+            eatss_trace::error!(
+                "cannot launch `{}`: {e} (build it with `cargo build -p eatss-serve`)",
+                program.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -405,6 +428,14 @@ fn run(opts: &Options) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // `eatss serve ...` delegates to the sibling `eatss-serve` daemon
+    // binary (this crate cannot depend on the serve crate — the
+    // dependency runs the other way); remaining flags pass through.
+    let mut argv = std::env::args().skip(1);
+    if argv.next().as_deref() == Some("serve") {
+        return run_serve(argv.collect());
+    }
+
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(e) => {

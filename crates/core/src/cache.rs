@@ -95,6 +95,11 @@ impl TileCache {
         }
     }
 
+    /// The architecture this cache solves for.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
     /// Number of memoized formulations (feasible or not).
     pub fn len(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
@@ -155,6 +160,78 @@ impl TileCache {
             Ok(solution) => Ok(solution),
             Err(e) => Err(e.clone()),
         }
+    }
+
+    /// Looks up a pre-encoded key (see [`encode_key`]), counting a hit
+    /// when present. Absence counts nothing — the caller decides whether
+    /// it becomes a miss (via [`TileCache::insert_key`]) or is abandoned.
+    pub fn lookup_key(&mut self, key: &[u8]) -> Option<Result<EatssSolution, EatssError>> {
+        let bucket_id = (self.fingerprinter)(key);
+        let entry = self
+            .entries
+            .get(&bucket_id)?
+            .iter()
+            .find(|(k, _)| k == key)?;
+        self.stats.hits += 1;
+        Some(entry.1.clone())
+    }
+
+    /// Memoizes an externally computed result, counting a miss plus the
+    /// infeasible/error classification — the counterpart to a
+    /// [`TileCache::lookup_key`] that came back empty. An existing entry
+    /// for the same key is replaced.
+    pub fn insert_key(&mut self, key: Vec<u8>, result: Result<EatssSolution, EatssError>) {
+        self.stats.misses += 1;
+        match &result {
+            Err(EatssError::Unsatisfiable { .. }) => self.stats.infeasible += 1,
+            Err(_) => self.stats.errors += 1,
+            Ok(_) => {}
+        }
+        self.put_key(key, result);
+    }
+
+    /// Memoizes a result without touching any statistics — used to
+    /// warm-start the cache from a journal, where entries were counted by
+    /// the process that first solved them.
+    pub fn replay_key(&mut self, key: Vec<u8>, result: Result<EatssSolution, EatssError>) {
+        self.put_key(key, result);
+    }
+
+    fn put_key(&mut self, key: Vec<u8>, result: Result<EatssSolution, EatssError>) {
+        let bucket_id = (self.fingerprinter)(&key);
+        let bucket = self.entries.entry(bucket_id).or_default();
+        match bucket.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = result,
+            None => bucket.push((key, result)),
+        }
+    }
+
+    /// Runs the pipeline for one request without consulting or updating
+    /// the cache — the solve half of [`TileCache::select`], split out for
+    /// wrappers that manage lookup/insert themselves.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the formulation or solver produced.
+    pub fn solve_for(
+        &self,
+        program: &Program,
+        sizes: &ProblemSizes,
+        config: &EatssConfig,
+    ) -> Result<EatssSolution, EatssError> {
+        ModelGenerator::new(&self.arch, config.clone())
+            .build(program, Some(sizes))
+            .and_then(|model| model.solve())
+    }
+
+    /// Iterates every memoized `(key, result)` pair, in no particular
+    /// order — the source set for journal compaction.
+    pub fn encoded_entries(
+        &self,
+    ) -> impl Iterator<Item = (&[u8], &Result<EatssSolution, EatssError>)> {
+        self.entries
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|(k, r)| (k.as_slice(), r)))
     }
 }
 
@@ -225,6 +302,13 @@ fn hash_key(key: &[u8]) -> u64 {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     h.finish()
+}
+
+/// Folds an already-encoded key (from [`encode_key`]) into the same
+/// 64-bit fingerprint [`fingerprint`] computes — used to pick journal
+/// shards without re-encoding the request.
+pub fn fingerprint_key(key: &[u8]) -> u64 {
+    hash_key(key)
 }
 
 /// Structural fingerprint of a selection request — the bucket hash of

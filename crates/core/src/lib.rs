@@ -48,10 +48,14 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod evaluate;
+pub mod journal;
 pub mod model;
+pub mod persist;
 pub mod sweep;
 
 pub use cache::{TileCache, TileCacheStats};
+pub use journal::{Journal, JournalConfig, RecoveryStats, ReplayedEntries, SyncPolicy};
+pub use persist::PersistentTileCache;
 pub use config::{EatssConfig, Precision, ThreadBlockCap};
 pub use error::{PipelineError, PipelineStage};
 pub use evaluate::{

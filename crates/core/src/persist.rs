@@ -1,0 +1,563 @@
+//! A [`TileCache`] that survives restarts — and `kill -9`.
+//!
+//! [`PersistentTileCache`] pairs the in-memory collision-safe cache with
+//! the sharded append-only [`Journal`](crate::journal::Journal): every
+//! *committed* result (a proved-optimal solution or a proved
+//! infeasibility) is appended to disk before it is served, and opening
+//! the cache replays the journal to warm-start the index. Anytime
+//! (budget-limited) and fallback selections are served but never
+//! persisted — a later request with a larger budget must be able to
+//! improve on them.
+//!
+//! The value encoding is deliberately dumb: fixed-width little-endian
+//! fields, no varints, one format version byte. A value that fails to
+//! decode (a corrupt record that slipped past the journal checksum, or a
+//! future format) is counted and skipped, never trusted.
+
+use crate::cache::{encode_key, fingerprint_key, TileCache, TileCacheStats};
+use crate::config::EatssConfig;
+use crate::journal::{Journal, JournalConfig, RecoveryStats};
+use crate::model::{EatssError, EatssSolution, SolutionProvenance};
+use eatss_affine::tiling::TileConfig;
+use eatss_affine::{ProblemSizes, Program};
+use eatss_gpusim::GpuArch;
+use eatss_smt::SolverStats;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// Version byte opening every encoded value.
+const VALUE_VERSION: u8 = 1;
+/// Value tags.
+const TAG_SOLUTION: u8 = 0;
+const TAG_INFEASIBLE: u8 = 1;
+
+/// Encodes a cache result for the journal. Returns `None` for results
+/// that must not be persisted: anytime/fallback solutions (a bigger
+/// budget could beat them) and transient errors (faults, exhaustion —
+/// retrying may succeed).
+pub fn encode_result(result: &Result<EatssSolution, EatssError>) -> Option<Vec<u8>> {
+    let mut v = Vec::with_capacity(160);
+    v.push(VALUE_VERSION);
+    match result {
+        Ok(s) if s.provenance == SolutionProvenance::Solved => {
+            v.push(TAG_SOLUTION);
+            let sizes = s.tiles.sizes();
+            v.extend_from_slice(&(sizes.len() as u32).to_le_bytes());
+            for &t in sizes {
+                v.extend_from_slice(&t.to_le_bytes());
+            }
+            v.extend_from_slice(&s.objective.to_le_bytes());
+            v.extend_from_slice(&s.solver_calls.to_le_bytes());
+            v.extend_from_slice(&(s.solve_time.as_micros() as u64).to_le_bytes());
+            v.push(u8::from(s.optimal));
+            for c in [
+                s.stats.checks,
+                s.stats.nodes,
+                s.stats.propagations,
+                s.stats.values_pruned,
+                s.stats.backtracks,
+                s.stats.node_limit_hits,
+                s.stats.deadline_hits,
+                s.stats.cancellations,
+                s.stats.bound_prunes,
+                s.stats.hull_rebuilds,
+                s.stats.solve_time.as_micros() as u64,
+                s.stats.propagation_time.as_micros() as u64,
+                s.stats.search_time.as_micros() as u64,
+            ] {
+                v.extend_from_slice(&c.to_le_bytes());
+            }
+            Some(v)
+        }
+        Err(EatssError::Unsatisfiable { reason }) => {
+            v.push(TAG_INFEASIBLE);
+            v.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+            v.extend_from_slice(reason.as_bytes());
+            Some(v)
+        }
+        _ => None,
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|s| i64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+/// Decodes a journaled value. `None` means the bytes are not a valid
+/// persisted result (corrupt or from the future) — the entry is dropped.
+pub fn decode_result(bytes: &[u8]) -> Option<Result<EatssSolution, EatssError>> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.u8()? != VALUE_VERSION {
+        return None;
+    }
+    let result = match c.u8()? {
+        TAG_SOLUTION => {
+            let n = c.u32()? as usize;
+            if n > 64 {
+                return None; // no kernel is 64-deep; reject garbage early
+            }
+            let mut sizes = Vec::with_capacity(n);
+            for _ in 0..n {
+                sizes.push(c.i64()?);
+            }
+            let objective = c.i64()?;
+            let solver_calls = c.u32()?;
+            let solve_time = Duration::from_micros(c.u64()?);
+            let optimal = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let mut counters = [0u64; 13];
+            for slot in &mut counters {
+                *slot = c.u64()?;
+            }
+            Ok(EatssSolution {
+                tiles: TileConfig::new(sizes),
+                objective,
+                solver_calls,
+                solve_time,
+                optimal,
+                provenance: SolutionProvenance::Solved,
+                stats: SolverStats {
+                    checks: counters[0],
+                    nodes: counters[1],
+                    propagations: counters[2],
+                    values_pruned: counters[3],
+                    backtracks: counters[4],
+                    node_limit_hits: counters[5],
+                    deadline_hits: counters[6],
+                    cancellations: counters[7],
+                    bound_prunes: counters[8],
+                    hull_rebuilds: counters[9],
+                    solve_time: Duration::from_micros(counters[10]),
+                    propagation_time: Duration::from_micros(counters[11]),
+                    search_time: Duration::from_micros(counters[12]),
+                },
+            })
+        }
+        TAG_INFEASIBLE => {
+            let len = c.u32()? as usize;
+            let reason = String::from_utf8(c.take(len)?.to_vec()).ok()?;
+            Err(EatssError::Unsatisfiable { reason })
+        }
+        _ => return None,
+    };
+    if c.pos != bytes.len() {
+        return None; // trailing bytes ⇒ not something this version wrote
+    }
+    Some(result)
+}
+
+/// A journaled, warm-starting tile cache.
+///
+/// All of [`TileCache`]'s semantics carry over — full structural keys,
+/// collision-safe buckets, hit/miss/infeasible statistics — plus:
+///
+/// * committed results (optimal solutions, proved infeasibilities) are
+///   appended to an on-disk journal *before* they are served, so an `Ok`
+///   response implies durability (under [`SyncPolicy::Always`]
+///   (crate::journal::SyncPolicy::Always));
+/// * opening the cache replays the journal, warm-starting the index
+///   across restarts and hard kills;
+/// * [`PersistentTileCache::compact`] rewrites the journal to the live
+///   entry set, atomically.
+#[derive(Debug)]
+pub struct PersistentTileCache {
+    mem: TileCache,
+    journal: Option<Journal>,
+    /// Journal records that decoded to valid results on open.
+    replayed: u64,
+    /// Journal records whose value failed to decode (dropped).
+    undecodable: u64,
+    /// Entries appended to the journal over this cache's lifetime.
+    persisted: u64,
+}
+
+impl PersistentTileCache {
+    /// Opens (or creates) a journaled cache in `dir`, replaying every
+    /// committed entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal I/O and format errors — see
+    /// [`Journal::open`](crate::journal::Journal::open).
+    pub fn open(dir: &Path, arch: GpuArch, config: JournalConfig) -> io::Result<Self> {
+        let (journal, records) = Journal::open(dir, config)?;
+        let mut mem = TileCache::new(arch);
+        let mut replayed = 0;
+        let mut undecodable = 0;
+        for (key, value) in records {
+            match decode_result(&value) {
+                // Later records supersede earlier ones for the same key
+                // (compaction leaves one; a crashed compaction may leave
+                // the append-order duplicates, which replay idempotently).
+                Some(result) => {
+                    mem.replay_key(key, result);
+                    replayed += 1;
+                }
+                None => undecodable += 1,
+            }
+        }
+        Ok(PersistentTileCache {
+            mem,
+            journal: Some(journal),
+            replayed,
+            undecodable,
+            persisted: 0,
+        })
+    }
+
+    /// An in-memory cache with the same interface and no journal — for
+    /// callers that want one code path with durability as a config knob.
+    pub fn ephemeral(arch: GpuArch) -> Self {
+        PersistentTileCache {
+            mem: TileCache::new(arch),
+            journal: None,
+            replayed: 0,
+            undecodable: 0,
+            persisted: 0,
+        }
+    }
+
+    /// Whether a journal backs this cache.
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// What journal recovery found on open (all zeros for ephemeral).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.journal.as_ref().map(Journal::recovery).unwrap_or_default()
+    }
+
+    /// Journal records replayed into the index on open.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Journal records dropped on open because their value no longer
+    /// decodes.
+    pub fn undecodable(&self) -> u64 {
+        self.undecodable
+    }
+
+    /// Entries appended to the journal by this process.
+    pub fn persisted(&self) -> u64 {
+        self.persisted
+    }
+
+    /// Hit/miss counters (replay does not count).
+    pub fn stats(&self) -> TileCacheStats {
+        self.mem.stats()
+    }
+
+    /// Number of memoized formulations.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Whether nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Looks up a pre-encoded key, counting a hit when present.
+    pub fn lookup_key(&mut self, key: &[u8]) -> Option<Result<EatssSolution, EatssError>> {
+        self.mem.lookup_key(key)
+    }
+
+    /// Inserts an externally computed result, counting a miss (plus the
+    /// infeasible/error classification) and journaling it when it is a
+    /// committed result. The journal append happens *first*: if it fails,
+    /// the entry is not served from memory either, so the cache never
+    /// claims durability it does not have.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O failures (the in-memory index is left unchanged).
+    pub fn insert_key(
+        &mut self,
+        key: Vec<u8>,
+        result: Result<EatssSolution, EatssError>,
+    ) -> io::Result<()> {
+        if let Some(journal) = &mut self.journal {
+            if let Some(value) = encode_result(&result) {
+                journal.append(fingerprint_key(&key), &key, &value)?;
+                self.persisted += 1;
+            }
+        }
+        self.mem.insert_key(key, result);
+        Ok(())
+    }
+
+    /// Selects tiles through the cache, journaling newly solved
+    /// committed results. Same memoization semantics as
+    /// [`TileCache::select`].
+    ///
+    /// # Errors
+    ///
+    /// The (possibly cached) [`EatssError`], like [`TileCache::select`].
+    /// Journal write failures surface as... they do not: a failed append
+    /// downgrades the entry to memory-only rather than failing the
+    /// selection (the solve already succeeded; durability is reported
+    /// via [`PersistentTileCache::persisted`]).
+    pub fn select(
+        &mut self,
+        program: &Program,
+        sizes: &ProblemSizes,
+        config: &EatssConfig,
+    ) -> Result<EatssSolution, EatssError> {
+        let key = encode_key(self.mem.arch(), program, sizes, config);
+        if let Some(cached) = self.mem.lookup_key(&key) {
+            return cached;
+        }
+        let result = self.mem.solve_for(program, sizes, config);
+        if let Some(journal) = &mut self.journal {
+            if let Some(value) = encode_result(&result) {
+                if journal.append(fingerprint_key(&key), &key, &value).is_ok() {
+                    self.persisted += 1;
+                }
+            }
+        }
+        self.mem.insert_key(key, result.clone());
+        result
+    }
+
+    /// Rewrites the journal to exactly the live committed entries,
+    /// dropping superseded duplicates and unreadable values.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O failures; the previous journal remains authoritative.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let Some(journal) = &mut self.journal else {
+            return Ok(());
+        };
+        journal.compact(self.mem.encoded_entries().filter_map(|(key, result)| {
+            encode_result(result).map(|value| (fingerprint_key(key), key, value))
+        }))
+    }
+
+    /// Flushes OS buffers (meaningful under
+    /// [`SyncPolicy::Never`](crate::journal::SyncPolicy::Never)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fsync failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.journal {
+            Some(j) => j.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Total journal bytes on disk (0 for ephemeral).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eatss_affine::parser::parse_program;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "eatss-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mm() -> Program {
+        parse_program(
+            "kernel mm(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 C[i][j] += A[i][k] * B[k][j];
+             }",
+        )
+        .unwrap()
+    }
+
+    fn sizes(n: i64) -> ProblemSizes {
+        ProblemSizes::new([("M", n), ("N", n), ("P", n)])
+    }
+
+    #[test]
+    fn warm_start_across_reopen() {
+        let dir = temp_dir("warm");
+        let cfg = EatssConfig::default();
+        let first = {
+            let mut cache =
+                PersistentTileCache::open(&dir, GpuArch::ga100(), JournalConfig::default())
+                    .unwrap();
+            let s = cache.select(&mm(), &sizes(2000), &cfg).unwrap();
+            assert_eq!(cache.stats().misses, 1);
+            assert_eq!(cache.persisted(), 1);
+            s
+        };
+        let mut cache =
+            PersistentTileCache::open(&dir, GpuArch::ga100(), JournalConfig::default()).unwrap();
+        assert_eq!(cache.replayed(), 1);
+        assert_eq!(cache.len(), 1);
+        let again = cache.select(&mm(), &sizes(2000), &cfg).unwrap();
+        // Warm start: a hit, not a re-solve, and bitwise-identical tiles.
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(again.tiles.sizes(), first.tiles.sizes());
+        assert_eq!(again.objective, first.objective);
+        // Durations persist at microsecond granularity; the *encoded*
+        // forms must match bitwise.
+        assert_eq!(
+            encode_result(&Ok(again)).unwrap(),
+            encode_result(&Ok(first)).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn infeasibility_is_persisted_and_warm_hits() {
+        let dir = temp_dir("infeasible");
+        let cfg = EatssConfig::default(); // WAF 16 > extents of 8
+        {
+            let mut cache =
+                PersistentTileCache::open(&dir, GpuArch::ga100(), JournalConfig::default())
+                    .unwrap();
+            let e = cache.select(&mm(), &sizes(8), &cfg).unwrap_err();
+            assert!(matches!(e, EatssError::Unsatisfiable { .. }));
+            assert_eq!(cache.stats().infeasible, 1);
+        }
+        let mut cache =
+            PersistentTileCache::open(&dir, GpuArch::ga100(), JournalConfig::default()).unwrap();
+        let e = cache.select(&mm(), &sizes(8), &cfg).unwrap_err();
+        assert!(matches!(e, EatssError::Unsatisfiable { .. }));
+        // Served from the warm index: a hit, no solver run.
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_codec_round_trips() {
+        let solution = EatssSolution {
+            tiles: TileConfig::new(vec![16, 384, 1]),
+            objective: 6160,
+            solver_calls: 9,
+            solve_time: Duration::from_micros(1234),
+            optimal: true,
+            provenance: SolutionProvenance::Solved,
+            stats: SolverStats {
+                checks: 9,
+                nodes: 1000,
+                propagations: 2000,
+                values_pruned: 77,
+                backtracks: 13,
+                bound_prunes: 5,
+                hull_rebuilds: 9,
+                solve_time: Duration::from_micros(1200),
+                propagation_time: Duration::from_micros(700),
+                search_time: Duration::from_micros(500),
+                ..SolverStats::default()
+            },
+        };
+        let encoded = encode_result(&Ok(solution.clone())).unwrap();
+        let decoded = decode_result(&encoded).unwrap().unwrap();
+        assert_eq!(decoded.tiles.sizes(), solution.tiles.sizes());
+        assert_eq!(decoded.objective, solution.objective);
+        assert_eq!(decoded.solver_calls, solution.solver_calls);
+        assert_eq!(decoded.solve_time, solution.solve_time);
+        assert_eq!(decoded.optimal, solution.optimal);
+        assert_eq!(decoded.stats, solution.stats);
+
+        let reason = "WAF 16 exceeds extent 8";
+        let infeasible = Err(EatssError::Unsatisfiable {
+            reason: reason.into(),
+        });
+        let decoded = decode_result(&encode_result(&infeasible).unwrap()).unwrap();
+        assert_eq!(
+            decoded.unwrap_err(),
+            EatssError::Unsatisfiable {
+                reason: reason.into()
+            }
+        );
+    }
+
+    #[test]
+    fn non_committed_results_are_not_persisted() {
+        // Anytime and fallback solutions, and transient errors, stay out
+        // of the journal.
+        let mut anytime = EatssSolution::ppcg_default(3);
+        anytime.provenance = SolutionProvenance::SolvedIncomplete;
+        assert!(encode_result(&Ok(anytime)).is_none());
+        assert!(encode_result(&Ok(EatssSolution::ppcg_default(3))).is_none());
+        assert!(encode_result(&Err(EatssError::Exhausted {
+            reason: "deadline".into()
+        }))
+        .is_none());
+        assert!(encode_result(&Err(EatssError::EmptyProgram)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_bytes() {
+        let encoded = encode_result(&Err(EatssError::Unsatisfiable {
+            reason: "r".into(),
+        }))
+        .unwrap();
+        for cut in 0..encoded.len() {
+            assert!(decode_result(&encoded[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(decode_result(&padded).is_none());
+        assert!(decode_result(&[]).is_none());
+        assert!(decode_result(&[9, 9, 9]).is_none());
+    }
+
+    #[test]
+    fn ephemeral_cache_works_without_a_directory() {
+        let mut cache = PersistentTileCache::ephemeral(GpuArch::ga100());
+        assert!(!cache.is_durable());
+        let cfg = EatssConfig::default();
+        cache.select(&mm(), &sizes(2000), &cfg).unwrap();
+        cache.select(&mm(), &sizes(2000), &cfg).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.persisted(), 0);
+        assert_eq!(cache.journal_bytes(), 0);
+        cache.flush().unwrap();
+        cache.compact().unwrap();
+    }
+}

@@ -58,15 +58,26 @@ pub enum BarrierFidelity {
 /// Which execution core runs the statements at each point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
+    /// Per-kernel heuristic: kernels whose total iteration count is
+    /// below [`AUTO_PLAN_THRESHOLD_POINTS`] run on the reference walker
+    /// (plan compilation costs more than it saves on tiny domains —
+    /// bench_oracle measured jacobi-1d at wall_ratio 0.957 under an
+    /// unconditional `Plan`); everything larger gets the compiled plan.
+    #[default]
+    Auto,
     /// Compile the kernel into an [`ExecPlan`] (staged reads pre-routed,
     /// addresses linearized, RHS as an opcode tape). Kernels the plan
     /// compiler cannot lower silently fall back to the reference walk.
-    #[default]
     Plan,
     /// The original tree-walking per-point execution, retained as the
     /// executable specification the plan engine is tested against.
     Reference,
 }
+
+/// Iteration-count floor below which [`ExecEngine::Auto`] picks the
+/// reference walker for a kernel. One plan compile amortizes over the
+/// kernel's points; under ~1k points the compile dominates.
+pub const AUTO_PLAN_THRESHOLD_POINTS: i64 = 1024;
 
 /// Emulator knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -400,9 +411,14 @@ pub fn execute_mapped_kernel(
     // Choose the execution core once per kernel: staged reads resolve to
     // their route here, at compile time, instead of a group search per
     // read per point.
-    let exec = match opts.engine {
-        ExecEngine::Reference => KernelExec::Reference,
-        ExecEngine::Plan => {
+    let use_plan = match opts.engine {
+        ExecEngine::Reference => false,
+        ExecEngine::Plan => true,
+        ExecEngine::Auto => trips.iter().product::<i64>() >= AUTO_PLAN_THRESHOLD_POINTS,
+    };
+    let exec = match use_plan {
+        false => KernelExec::Reference,
+        true => {
             match ExecPlan::compile_routed(kernel, &trips, store, |r| {
                 staged
                     .iter()
@@ -913,6 +929,13 @@ mod tests {
           C[i][j] += A[i][k] * B[k][j];
       }";
 
+    fn plan_opts() -> ExecOptions {
+        ExecOptions {
+            engine: ExecEngine::Plan,
+            ..ExecOptions::default()
+        }
+    }
+
     fn emulate(
         src: &str,
         tiles: Vec<i64>,
@@ -934,7 +957,7 @@ mod tests {
     #[test]
     fn matmul_agrees_with_interpreter() {
         let (emul, reference, stats) =
-            emulate(MM, vec![4, 4, 4], &[("M", 9), ("N", 10), ("P", 7)], &ExecOptions::default());
+            emulate(MM, vec![4, 4, 4], &[("M", 9), ("N", 10), ("P", 7)], &plan_opts());
         assert!(compare_stores(&emul, &reference).is_empty());
         assert_eq!(stats.points, 9 * 10 * 7);
         assert_eq!(stats.launches, 1);
@@ -944,7 +967,7 @@ mod tests {
     fn non_divisible_and_unit_tiles_agree() {
         for tiles in [vec![1, 1, 1], vec![3, 5, 2], vec![16, 16, 16]] {
             let (emul, reference, _) =
-                emulate(MM, tiles.clone(), &[("M", 7), ("N", 11), ("P", 5)], &ExecOptions::default());
+                emulate(MM, tiles.clone(), &[("M", 7), ("N", 11), ("P", 5)], &plan_opts());
             assert!(
                 compare_stores(&emul, &reference).is_empty(),
                 "tiles {tiles:?} disagree"
@@ -956,7 +979,7 @@ mod tests {
     fn engines_agree_bitwise_with_identical_stats() {
         for tiles in [vec![4, 4, 4], vec![3, 5, 2], vec![1, 1, 1]] {
             let sizes: &[(&str, i64)] = &[("M", 9), ("N", 10), ("P", 7)];
-            let plan_opts = ExecOptions::default();
+            let plan_opts = plan_opts();
             let ref_opts = ExecOptions {
                 engine: ExecEngine::Reference,
                 ..ExecOptions::default()
@@ -972,6 +995,26 @@ mod tests {
     }
 
     #[test]
+    fn auto_engine_is_correct_on_both_sides_of_the_threshold() {
+        // 9·10·7 = 630 points resolves to the reference walker,
+        // 12·12·12 = 1728 to the compiled plan; both must match the
+        // interpreter bitwise, so `Auto` is purely a performance knob.
+        for sizes in [
+            &[("M", 9), ("N", 10), ("P", 7)][..],
+            &[("M", 12), ("N", 12), ("P", 12)][..],
+        ] {
+            let points: i64 = sizes.iter().map(|&(_, n)| n).product();
+            let (emul, reference, stats) =
+                emulate(MM, vec![4, 4, 4], sizes, &ExecOptions::default());
+            assert!(
+                compare_stores(&emul, &reference).is_empty(),
+                "{points} points: auto engine diverges from interpreter"
+            );
+            assert_eq!(stats.points as i64, points);
+        }
+    }
+
+    #[test]
     fn time_loop_kernel_relaunches_per_step() {
         let (emul, reference, stats) = emulate(
             "kernel sweep(T, N) {
@@ -980,7 +1023,7 @@ mod tests {
              }",
             vec![1, 4],
             &[("T", 3), ("N", 10)],
-            &ExecOptions::default(),
+            &plan_opts(),
         );
         assert!(compare_stores(&emul, &reference).is_empty());
         assert_eq!(stats.launches, 3);
@@ -994,10 +1037,10 @@ mod tests {
         // skipped, threads read elements other threads have not staged
         // yet, so results MUST diverge — proving the emulator actually
         // models the barrier phases rather than bypassing the buffers.
-        let faithful = ExecOptions::default();
+        let faithful = plan_opts();
         let skip = ExecOptions {
             barrier_fidelity: BarrierFidelity::SkipLoadBarrier,
-            ..ExecOptions::default()
+            ..plan_opts()
         };
         let sizes: &[(&str, i64)] = &[("M", 8), ("N", 8), ("P", 8)];
         let (emul, reference, stats) = emulate(MM, vec![4, 4, 4], sizes, &faithful);

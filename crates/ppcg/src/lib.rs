@@ -51,7 +51,7 @@ pub mod space;
 
 pub use exec::{
     execute_compiled, execute_mapped_kernel, BarrierFidelity, ExecEngine, ExecError, ExecOptions,
-    ExecStats,
+    ExecStats, AUTO_PLAN_THRESHOLD_POINTS,
 };
 pub use mapping::{CompileError, CompileOptions, GpuMapping};
 pub use oracle::{seed_store, verify, verify_sizes, OracleError, OracleOptions, OracleReport};

@@ -1,0 +1,647 @@
+//! Load-test and chaos harness for the tuning daemon.
+//!
+//! Replays synthetic clients (PolyBench × tile-space mix) against an
+//! in-process server under seeded chaos — malformed frames, oversized
+//! frames, slow-loris stalls, dropped connections, panic requests, tiny
+//! deadlines, gpusim measurement faults, queue-saturating bursts — then
+//! restarts the server (cleanly, and again after deliberately corrupting
+//! journal shards) and verifies:
+//!
+//! * **zero crash** — the daemon answers a ping after everything above;
+//! * **zero lost entries** — every committed response (optimal solve or
+//!   proved infeasibility) is a warm cache hit after restart, with
+//!   bitwise-identical tiles;
+//! * **well-formed shedding** — every `overloaded` response carries a
+//!   retry-after hint.
+//!
+//! Writes `BENCH_serve.json` and exits non-zero if any assertion fails.
+
+use eatss::SyncPolicy;
+use eatss_gpusim::FaultPlan;
+use eatss_serve::client::{Client, SelectArgs};
+use eatss_serve::server::{start, Endpoint, ServerConfig, ServerHandle};
+use eatss_trace::json::Json;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Deterministic xorshift64* — the chaos schedule must replay from the
+/// seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// One request the load phase committed; replayed after restarts.
+#[derive(Debug, Clone)]
+struct Committed {
+    args: SelectArgs,
+    status: String,
+    tiles: String,
+}
+
+#[derive(Default)]
+struct ClientReport {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    infeasible: u64,
+    errors: u64,
+    overloaded: u64,
+    malformed_shed_ok: u64,
+    malformed_sent: u64,
+    slowloris: u64,
+    dropped: u64,
+    panics_requested: u64,
+    fallbacks_seen: u64,
+    committed: Vec<Committed>,
+    bad_overloaded: u64,
+}
+
+struct Plan {
+    mode: &'static str,
+    clients: usize,
+    requests_per_client: usize,
+    burst: usize,
+}
+
+const KERNELS: &[&str] = &["gemm", "atax", "bicg", "mvt", "gesummv"];
+const SPLITS: &[f64] = &[0.0, 0.5, 0.67];
+const WARP_FRACS: &[f64] = &[0.125, 0.25, 0.5, 1.0];
+const SIZES: &[i64] = &[512, 1024, 2000];
+
+fn main() -> ExitCode {
+    let mut mode = "full";
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let m = args.next().unwrap_or_default();
+                mode = match m.as_str() {
+                    "smoke" => "smoke",
+                    "full" => "full",
+                    _ => {
+                        eprintln!("error: --mode wants smoke|full");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--out" => out = PathBuf::from(args.next().unwrap_or_default()),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --seed wants a number");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let plan = match mode {
+        "smoke" => Plan {
+            mode,
+            clients: 4,
+            requests_per_client: 30,
+            burst: 40,
+        },
+        _ => Plan {
+            mode,
+            clients: 12,
+            requests_per_client: 100,
+            burst: 64,
+        },
+    };
+    // Worker panics are expected (chaos) and caught; one line each is
+    // plenty.
+    std::panic::set_hook(Box::new(|info| eprintln!("panic (caught): {info}")));
+
+    let cache_dir = std::env::temp_dir().join(format!("eatss-bench-serve-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&cache_dir);
+
+    let config = server_config(&cache_dir);
+    let handle = match start(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.tcp_addr().expect("tcp endpoint").to_string();
+    eprintln!("bench_serve[{mode}]: server on {addr}, cache at {}", cache_dir.display());
+
+    // ── Phase 1: concurrent chaos load ─────────────────────────────────
+    let load_started = Instant::now();
+    let mut report = run_load(&addr, &plan, seed);
+    report.overloaded += run_burst(&addr, &plan, seed ^ 0x9e37_79b9);
+    let load_wall_s = load_started.elapsed().as_secs_f64();
+
+    // The daemon must still be alive after everything phase 1 threw at
+    // it.
+    let zero_crash_after_load = ping_ok(&addr);
+    let server_stats = handle.stats();
+    let cache_stats = handle.cache_stats();
+
+    // ── Phase 2a: clean restart → warm-start, zero lost entries ───────
+    handle.shutdown();
+    let handle = start(server_config(&cache_dir)).expect("clean restart");
+    let addr2 = handle.tcp_addr().expect("tcp endpoint").to_string();
+    let replayed = handle.replayed();
+    let committed = dedupe(&report.committed);
+    let mut warm_hits = 0u64;
+    let mut lost: Vec<String> = Vec::new();
+    {
+        let mut client = Client::connect_tcp(&addr2).expect("connect after restart");
+        for entry in &committed {
+            match client.select(&entry.args) {
+                Ok(reply) => {
+                    let cache = reply.get("cache").and_then(Json::as_str).unwrap_or("");
+                    let status = reply.get("status").and_then(Json::as_str).unwrap_or("");
+                    let tiles = reply
+                        .get("tiles")
+                        .map(|t| format!("{t:?}"))
+                        .unwrap_or_default();
+                    if cache == "hit" && status == entry.status && tiles == entry.tiles {
+                        warm_hits += 1;
+                    } else {
+                        lost.push(format!(
+                            "{:?} -> cache={cache} status={status}",
+                            entry.args.kernel
+                        ));
+                    }
+                }
+                Err(e) => lost.push(format!("{:?} -> {e}", entry.args.kernel)),
+            }
+        }
+    }
+    let zero_lost_entries = lost.is_empty();
+
+    // ── Phase 2b: corrupt shards, restart, recovery must hold ─────────
+    handle.shutdown();
+    let (flipped, truncated) = corrupt_journal(&cache_dir, seed);
+    let handle = start(server_config(&cache_dir)).expect("restart after corruption");
+    let recovery = handle.recovery();
+    let addr3 = handle.tcp_addr().expect("tcp endpoint").to_string();
+    let alive_after_corruption = ping_ok(&addr3);
+    let recovered_detected =
+        recovery.corrupt_records_skipped > 0 || recovery.torn_tails_truncated > 0;
+    handle.shutdown();
+
+    let zero_crash = zero_crash_after_load && alive_after_corruption;
+    let shed_well_formed = report.bad_overloaded == 0;
+
+    // ── Report ─────────────────────────────────────────────────────────
+    report.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        if report.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((report.latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        report.latencies_ms[idx]
+    };
+    let total_requests = report.ok + report.infeasible + report.errors + report.overloaded;
+    let hit_rate = if cache_stats.hits + cache_stats.misses > 0 {
+        cache_stats.hits as f64 / (cache_stats.hits + cache_stats.misses) as f64
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        r#"{{
+  "mode": "{mode}",
+  "seed": {seed},
+  "load_wall_s": {load_wall_s:.2},
+  "requests": {{
+    "total": {total},
+    "ok": {ok},
+    "infeasible": {infeasible},
+    "errors": {errors},
+    "overloaded": {overloaded},
+    "fallbacks_seen": {fallbacks},
+    "malformed_sent": {malformed},
+    "slowloris_connections": {slowloris},
+    "dropped_connections": {dropped},
+    "panic_requests": {panics}
+  }},
+  "latency_ms": {{ "p50": {p50:.3}, "p99": {p99:.3}, "max": {maxl:.3}, "count": {lat_count} }},
+  "server": {{
+    "requests": {srv_requests},
+    "shed": {srv_shed},
+    "coalesced": {srv_coalesced},
+    "protocol_errors": {srv_protocol_errors},
+    "panics_caught": {srv_panics},
+    "fallbacks": {srv_fallbacks}
+  }},
+  "cache": {{
+    "hits": {c_hits},
+    "misses": {c_misses},
+    "infeasible": {c_infeasible},
+    "hit_rate": {hit_rate:.4}
+  }},
+  "restart": {{
+    "replayed": {replayed},
+    "committed_unique": {committed_n},
+    "warm_hits": {warm_hits},
+    "corruption": {{
+      "bits_flipped": {flipped},
+      "bytes_truncated": {truncated},
+      "corrupt_records_skipped": {rec_skipped},
+      "torn_tails_truncated": {rec_torn},
+      "records_recovered": {rec_ok}
+    }}
+  }},
+  "assertions": {{
+    "zero_crash": {zero_crash},
+    "zero_lost_entries": {zero_lost_entries},
+    "shed_well_formed": {shed_well_formed},
+    "corruption_detected": {recovered_detected}
+  }}
+}}
+"#,
+        mode = plan.mode,
+        total = total_requests,
+        ok = report.ok,
+        infeasible = report.infeasible,
+        errors = report.errors,
+        overloaded = report.overloaded,
+        fallbacks = report.fallbacks_seen,
+        malformed = report.malformed_sent,
+        slowloris = report.slowloris,
+        dropped = report.dropped,
+        panics = report.panics_requested,
+        p50 = pct(0.50),
+        p99 = pct(0.99),
+        maxl = pct(1.0),
+        lat_count = report.latencies_ms.len(),
+        srv_requests = server_stats.requests,
+        srv_shed = server_stats.shed,
+        srv_coalesced = server_stats.coalesced,
+        srv_protocol_errors = server_stats.protocol_errors,
+        srv_panics = server_stats.panics_caught,
+        srv_fallbacks = server_stats.fallbacks,
+        c_hits = cache_stats.hits,
+        c_misses = cache_stats.misses,
+        c_infeasible = cache_stats.infeasible,
+        committed_n = committed.len(),
+        rec_skipped = recovery.corrupt_records_skipped,
+        rec_torn = recovery.torn_tails_truncated,
+        rec_ok = recovery.records_recovered,
+    );
+    if let Err(e) = fs::write(&out, &json) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_serve: wrote {}", out.display());
+    let _ = fs::remove_dir_all(&cache_dir);
+
+    if !lost.is_empty() {
+        eprintln!("LOST ENTRIES:");
+        for l in lost.iter().take(10) {
+            eprintln!("  {l}");
+        }
+    }
+    let pass = zero_crash && zero_lost_entries && shed_well_formed && recovered_detected;
+    if !pass {
+        eprintln!(
+            "bench_serve: ASSERTION FAILED (zero_crash={zero_crash} zero_lost_entries={zero_lost_entries} shed_well_formed={shed_well_formed} corruption_detected={recovered_detected})"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench_serve: PASS — {total_requests} requests, p50 {:.2} ms, p99 {:.2} ms, hit rate {:.1}%",
+        pct(0.50),
+        pct(0.99),
+        hit_rate * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn server_config(cache_dir: &Path) -> ServerConfig {
+    let mut config = ServerConfig {
+        endpoint: Endpoint::Tcp("127.0.0.1:0".to_string()),
+        cache_dir: Some(cache_dir.to_path_buf()),
+        workers: 4,
+        queue_capacity: 16,
+        max_frame_bytes: 64 << 10,
+        read_timeout: Duration::from_millis(500),
+        default_deadline: Duration::from_secs(2),
+        allow_chaos: true,
+        fault_plan: Some(FaultPlan::new(7).with_rates(0.05, 0.05, 0.05)),
+        ..ServerConfig::default()
+    };
+    config.journal.sync = SyncPolicy::Always;
+    config
+}
+
+fn ping_ok(addr: &str) -> bool {
+    Client::connect_tcp(addr)
+        .ok()
+        .and_then(|mut c| c.ping().ok())
+        .and_then(|r| r.get("status").and_then(Json::as_str).map(|s| s == "ok"))
+        .unwrap_or(false)
+}
+
+fn run_load(addr: &str, plan: &Plan, seed: u64) -> ClientReport {
+    let mut handles = Vec::new();
+    for i in 0..plan.clients {
+        let addr = addr.to_string();
+        let requests = plan.requests_per_client;
+        let client_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        handles.push(std::thread::spawn(move || {
+            client_thread(&addr, requests, client_seed)
+        }));
+    }
+    let mut merged = ClientReport::default();
+    for h in handles {
+        let r = h.join().expect("client thread");
+        merged.latencies_ms.extend(r.latencies_ms);
+        merged.ok += r.ok;
+        merged.infeasible += r.infeasible;
+        merged.errors += r.errors;
+        merged.overloaded += r.overloaded;
+        merged.malformed_sent += r.malformed_sent;
+        merged.malformed_shed_ok += r.malformed_shed_ok;
+        merged.slowloris += r.slowloris;
+        merged.dropped += r.dropped;
+        merged.panics_requested += r.panics_requested;
+        merged.fallbacks_seen += r.fallbacks_seen;
+        merged.bad_overloaded += r.bad_overloaded;
+        merged.committed.extend(r.committed);
+    }
+    merged
+}
+
+fn client_thread(addr: &str, requests: usize, seed: u64) -> ClientReport {
+    let mut rng = Rng::new(seed);
+    let mut report = ClientReport::default();
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    for i in 0..requests {
+        // ~8% of iterations do transport chaos instead of a request.
+        if rng.chance(8) {
+            match rng.below(4) {
+                0 => {
+                    // Malformed frame: expect a typed error response, same
+                    // connection keeps serving.
+                    report.malformed_sent += 1;
+                    match client.request_line("{\"op\": \"select\", this is not json") {
+                        Ok(reply)
+                            if reply.get("status").and_then(Json::as_str) == Some("error") =>
+                        {
+                            report.malformed_shed_ok += 1
+                        }
+                        _ => client = reconnect(addr),
+                    }
+                }
+                1 => {
+                    // Oversized frame: server must answer then close.
+                    report.malformed_sent += 1;
+                    let garbage = vec![b'x'; 80 << 10];
+                    let _ = client.write_raw(&garbage);
+                    let _ = client.read_response();
+                    client = reconnect(addr);
+                }
+                2 => {
+                    // Slow-loris: stall mid-frame past the read timeout.
+                    report.slowloris += 1;
+                    let _ = client.write_raw(b"{\"op\": \"sel");
+                    std::thread::sleep(Duration::from_millis(800));
+                    let _ = client.read_response(); // timeout error or close
+                    client = reconnect(addr);
+                }
+                _ => {
+                    // Drop mid-request.
+                    report.dropped += 1;
+                    let _ = client.write_raw(b"{\"kernel\": \"ge");
+                    client = reconnect(addr);
+                }
+            }
+            continue;
+        }
+
+        let kernel: &&str = rng.pick(KERNELS);
+        let mut args = SelectArgs::kernel(kernel);
+        args.id = Some(format!("c{seed:x}-{i}"));
+        args.n = Some(*rng.pick(SIZES));
+        args.split = Some(*rng.pick(SPLITS));
+        args.warp_frac = Some(*rng.pick(WARP_FRACS));
+        args.evaluate = rng.chance(25);
+        if rng.chance(2) {
+            args.chaos = Some("panic".to_string());
+            report.panics_requested += 1;
+        } else if rng.chance(5) {
+            // Tiny deadline: anytime best-so-far or 32^d fallback.
+            args.deadline_ms = Some(1 + rng.below(3));
+        }
+        if rng.chance(10) {
+            // Infeasible: WAF 16 exceeds the 8-point extents.
+            args.n = Some(8);
+        }
+
+        let started = Instant::now();
+        match client.select(&args) {
+            Ok(reply) => {
+                let latency = started.elapsed().as_secs_f64() * 1000.0;
+                let status = reply.get("status").and_then(Json::as_str).unwrap_or("");
+                match status {
+                    "ok" => {
+                        report.ok += 1;
+                        report.latencies_ms.push(latency);
+                        if reply.get("fell_back").and_then(Json::as_bool) == Some(true) {
+                            report.fallbacks_seen += 1;
+                        }
+                        if reply.get("provenance").and_then(Json::as_str) == Some("solved") {
+                            report.committed.push(Committed {
+                                args: strip_volatile(&args),
+                                status: "ok".to_string(),
+                                tiles: reply
+                                    .get("tiles")
+                                    .map(|t| format!("{t:?}"))
+                                    .unwrap_or_default(),
+                            });
+                        }
+                    }
+                    "infeasible" => {
+                        report.infeasible += 1;
+                        report.latencies_ms.push(latency);
+                        report.committed.push(Committed {
+                            args: strip_volatile(&args),
+                            status: "infeasible".to_string(),
+                            tiles: String::new(),
+                        });
+                    }
+                    "overloaded" => {
+                        report.overloaded += 1;
+                        if reply.get("retry_after_ms").and_then(Json::as_f64).is_none() {
+                            report.bad_overloaded += 1;
+                        }
+                    }
+                    _ => report.errors += 1,
+                }
+            }
+            Err(_) => {
+                report.errors += 1;
+                client = reconnect(addr);
+            }
+        }
+    }
+    report
+}
+
+/// Queue-saturation burst: more in-flight slow requests than the queue
+/// holds; the excess must shed with well-formed `overloaded` responses.
+fn run_burst(addr: &str, plan: &Plan, seed: u64) -> u64 {
+    let mut handles = Vec::new();
+    for i in 0..plan.burst {
+        let addr = addr.to_string();
+        let n = 2100 + (seed % 97) as i64 + i as i64; // fresh keys, no coalescing
+        handles.push(std::thread::spawn(move || {
+            let mut client = match Client::connect_tcp(&addr) {
+                Ok(c) => c,
+                Err(_) => return (0u64, 0u64),
+            };
+            let mut args = SelectArgs::kernel("gemm");
+            args.n = Some(n);
+            args.chaos = Some("sleep:200".to_string());
+            match client.select(&args) {
+                Ok(reply) => {
+                    let status = reply.get("status").and_then(Json::as_str).unwrap_or("");
+                    if status == "overloaded" {
+                        let well_formed =
+                            reply.get("retry_after_ms").and_then(Json::as_f64).is_some();
+                        (1, u64::from(!well_formed))
+                    } else {
+                        (0, 0)
+                    }
+                }
+                Err(_) => (0, 0),
+            }
+        }));
+    }
+    let mut shed = 0;
+    let mut malformed = 0;
+    for h in handles {
+        let (s, m) = h.join().unwrap_or((0, 0));
+        shed += s;
+        malformed += m;
+    }
+    assert_eq!(malformed, 0, "every overloaded response must be well-formed");
+    eprintln!("bench_serve: burst shed {shed}/{} requests", plan.burst);
+    shed
+}
+
+/// Committed entries are replayed without chaos/deadline/evaluate — the
+/// cache key ignores those, and the replay must be a pure hit.
+fn strip_volatile(args: &SelectArgs) -> SelectArgs {
+    let mut clean = args.clone();
+    clean.chaos = None;
+    clean.deadline_ms = None;
+    clean.evaluate = false;
+    clean.id = None;
+    clean
+}
+
+fn dedupe(committed: &[Committed]) -> Vec<Committed> {
+    let mut seen: BTreeMap<String, Committed> = BTreeMap::new();
+    for c in committed {
+        seen.entry(c.args.to_line()).or_insert_with(|| c.clone());
+    }
+    seen.into_values().collect()
+}
+
+fn reconnect(addr: &str) -> Client {
+    for _ in 0..50 {
+        if let Ok(c) = Client::connect_tcp(addr) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("server unreachable");
+}
+
+/// Flips one bit mid-record in one shard and truncates another shard's
+/// tail — the journal must skip/truncate and keep every other record.
+fn corrupt_journal(dir: &Path, seed: u64) -> (u64, u64) {
+    let mut rng = Rng::new(seed ^ 0xdead_beef);
+    let mut shards: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".log"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    shards.sort();
+    let mut flipped = 0u64;
+    let mut truncated = 0u64;
+    for (i, path) in shards.iter().enumerate() {
+        let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if len <= 24 {
+            continue; // header only — nothing to corrupt
+        }
+        if i % 2 == 0 {
+            // Bit flip somewhere after the 20-byte header.
+            let offset = 20 + rng.below(len - 21);
+            if let Ok(mut f) = fs::OpenOptions::new().read(true).write(true).open(path) {
+                use std::io::Read;
+                let mut byte = [0u8; 1];
+                if f.seek(SeekFrom::Start(offset)).is_ok() && f.read_exact(&mut byte).is_ok() {
+                    byte[0] ^= 1 << rng.below(8);
+                    if f.seek(SeekFrom::Start(offset)).is_ok() && f.write_all(&byte).is_ok() {
+                        flipped += 1;
+                    }
+                }
+            }
+        } else {
+            // Torn tail: drop the final few bytes.
+            let cut = 1 + rng.below(8);
+            let new_len = len.saturating_sub(cut).max(20);
+            if let Ok(f) = fs::OpenOptions::new().write(true).open(path) {
+                if f.set_len(new_len).is_ok() {
+                    truncated += len - new_len;
+                }
+            }
+        }
+    }
+    eprintln!("bench_serve: corrupted journal — {flipped} bit flips, {truncated} tail bytes cut");
+    (flipped, truncated)
+}
+
+// Silence dead-code lint for the handle type parameter in signatures.
+#[allow(dead_code)]
+fn _assert_send(_: &ServerHandle) {}

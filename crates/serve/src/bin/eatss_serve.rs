@@ -1,0 +1,156 @@
+//! The `eatss-serve` daemon binary.
+//!
+//! Prints one JSON "ready" line on stdout once listening (tests parse it
+//! for the ephemeral port), then parks until a client sends the in-band
+//! `shutdown` op, then drains gracefully and prints a final stats line.
+
+use eatss::SyncPolicy;
+use eatss_gpusim::{FaultPlan, GpuArch};
+use eatss_serve::server::{start, Endpoint, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+eatss-serve — crash-safe tile-selection daemon
+
+USAGE:
+  eatss-serve [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT       TCP listen address (default 127.0.0.1:7411; port 0 = ephemeral)
+  --unix PATH            listen on a unix socket instead of TCP
+  --cache-dir DIR        journal the tile cache under DIR (default: in-memory only)
+  --workers N            solver worker threads (default 4)
+  --queue N              admission queue capacity (default 64)
+  --deadline-ms N        default per-request solve deadline (default 2000)
+  --max-deadline-ms N    upper clamp for requested deadlines (default 30000)
+  --read-timeout-ms N    mid-frame stall budget (default 5000)
+  --arch NAME            default architecture: ga100 | xavier (default ga100)
+  --shards N             journal shard count (default 8)
+  --no-sync              journal without per-append fsync (faster, test-only)
+  --chaos                honour test-only `chaos` request fields
+  --fault-seed N         inject measurement faults (gpusim FaultPlan seed)
+  --fault-rates L,I,N    fault rates: launch-failure, invalid, nan (default 0.01,0.01,0.01)
+  --help                 this text
+";
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        endpoint: Endpoint::Tcp("127.0.0.1:7411".to_string()),
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rates = (0.01, 0.01, 0.01);
+
+    let mut args = std::env::args().skip(1);
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.endpoint = Endpoint::Tcp(next_value(&mut args, "--addr")),
+            "--unix" => {
+                config.endpoint = Endpoint::Unix(PathBuf::from(next_value(&mut args, "--unix")))
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(next_value(&mut args, "--cache-dir")))
+            }
+            "--workers" => config.workers = parse_num(&next_value(&mut args, "--workers")),
+            "--queue" => config.queue_capacity = parse_num(&next_value(&mut args, "--queue")),
+            "--deadline-ms" => {
+                config.default_deadline =
+                    Duration::from_millis(parse_num(&next_value(&mut args, "--deadline-ms")) as u64)
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline = Duration::from_millis(
+                    parse_num(&next_value(&mut args, "--max-deadline-ms")) as u64,
+                )
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(
+                    parse_num(&next_value(&mut args, "--read-timeout-ms")) as u64,
+                )
+            }
+            "--arch" => match next_value(&mut args, "--arch").as_str() {
+                "ga100" => config.default_arch = GpuArch::ga100(),
+                "xavier" => config.default_arch = GpuArch::xavier(),
+                other => {
+                    eprintln!("error: unknown arch '{other}'");
+                    return ExitCode::from(2);
+                }
+            },
+            "--shards" => {
+                config.journal.shards = parse_num(&next_value(&mut args, "--shards")) as u32
+            }
+            "--no-sync" => config.journal.sync = SyncPolicy::Never,
+            "--chaos" => config.allow_chaos = true,
+            "--fault-seed" => {
+                fault_seed = Some(parse_num(&next_value(&mut args, "--fault-seed")) as u64)
+            }
+            "--fault-rates" => {
+                let spec = next_value(&mut args, "--fault-rates");
+                let parts: Vec<f64> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
+                if parts.len() != 3 {
+                    eprintln!("error: --fault-rates wants L,I,N");
+                    return ExitCode::from(2);
+                }
+                fault_rates = (parts[0], parts[1], parts[2]);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(seed) = fault_seed {
+        config.fault_plan =
+            Some(FaultPlan::new(seed).with_rates(fault_rates.0, fault_rates.1, fault_rates.2));
+    }
+    // Worker panics are isolated by catch_unwind and answered as error
+    // responses; keep the stderr record to one line each.
+    std::panic::set_hook(Box::new(|info| eprintln!("panic (caught): {info}")));
+
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recovery = handle.recovery();
+    println!(
+        "{{\"ready\":true,\"addr\":\"{}\",\"replayed\":{},\"records_recovered\":{},\"corrupt_records_skipped\":{},\"torn_tails_truncated\":{}}}",
+        handle.addr(),
+        handle.replayed(),
+        recovery.records_recovered,
+        recovery.corrupt_records_skipped,
+        recovery.torn_tails_truncated,
+    );
+    // Stdout is block-buffered when piped; the spawning test waits on
+    // this line.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    handle.wait_shutdown_requested();
+    let stats = handle.shutdown();
+    println!(
+        "{{\"stopped\":true,\"requests\":{},\"ok\":{},\"errors\":{},\"shed\":{},\"panics_caught\":{}}}",
+        stats.requests, stats.ok, stats.errors, stats.shed, stats.panics_caught,
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_num(text: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: '{text}' is not a number");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,107 @@
+//! **eatss-serve** — a crash-safe tile-selection daemon.
+//!
+//! Wraps the EATSS solve→compile→measure pipeline in a long-running
+//! service speaking JSON-lines over TCP or a unix socket. A request
+//! names a kernel (PolyBench benchmark or inline DSL source), problem
+//! sizes, configuration knobs, and an optional deadline; the response
+//! carries the selected tiles with provenance, served from a journaled
+//! [`PersistentTileCache`](eatss::PersistentTileCache) that warm-starts
+//! across restarts — including `kill -9`.
+//!
+//! See DESIGN.md §12 for the protocol grammar, the journal byte layout,
+//! the crash-safety argument, and the overload semantics. The
+//! load-test/chaos harness lives in the `bench_serve` binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use eatss_serve::{start, Client, ServerConfig};
+//!
+//! let handle = start(ServerConfig::default())?;
+//! let mut client = Client::connect_tcp(&handle.tcp_addr().unwrap().to_string())?;
+//! let reply = client.request_line(r#"{"op": "ping"}"#)?;
+//! assert_eq!(reply.get("status").and_then(|s| s.as_str()), Some("ok"));
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    parse_request, FrameReader, Op, ProtocolError, Request, SelectRequest, SizeSpec,
+    PROTOCOL_VERSION,
+};
+pub use server::{start, Endpoint, ServerAddr, ServerConfig, ServerHandle, ServerStats};
+
+use eatss::PipelineError;
+use std::fmt;
+
+/// Everything the daemon can answer `status: "error"` (or `overloaded`)
+/// with — the service-level extension of the core crate's
+/// [`PipelineError`] taxonomy. Pipeline failures keep their stage
+/// classification; the other variants are service-only conditions that
+/// have no pipeline stage.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request never became a valid pipeline invocation.
+    Protocol(ProtocolError),
+    /// The pipeline itself failed (formulate/solve/compile/measure).
+    Pipeline(PipelineError),
+    /// Admission control shed the request.
+    Overloaded {
+        /// Suggested client backoff.
+        retry_after_ms: u64,
+    },
+    /// The solve panicked; the daemon caught it and kept serving.
+    WorkerPanic(String),
+    /// The daemon is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Stable wire identifier (`error.kind` in responses).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Protocol(e) => e.kind(),
+            ServeError::Pipeline(_) => "pipeline",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::WorkerPanic(_) => "worker_panic",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    /// `Display` is the wire `error.message`; keep it one line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(e) => write!(f, "{e}"),
+            ServeError::Pipeline(e) => write!(f, "{e}"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded; retry in {retry_after_ms} ms")
+            }
+            ServeError::WorkerPanic(msg) => write!(f, "solver panicked: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}

@@ -1,0 +1,581 @@
+//! The wire protocol: JSON-lines over a byte stream.
+//!
+//! One request per line, one response per line, UTF-8, `\n`-terminated.
+//! The grammar is documented in DESIGN.md §12; parsing reuses
+//! [`eatss_trace::json`] so the daemon carries no protocol dependency the
+//! tracer does not already have.
+//!
+//! Every malformed input maps to a typed [`ProtocolError`] — the server
+//! turns recoverable ones (bad JSON, missing fields, unknown kernels)
+//! into error *responses* and keeps the connection, and fatal ones
+//! (oversized frames, timeouts, EOF) into a best-effort error response
+//! followed by a close. Nothing a client sends can panic the daemon.
+
+use eatss::{EatssConfig, Precision, ThreadBlockCap};
+use eatss_trace::json::{escape, Json};
+use std::fmt;
+use std::io::{self, Read};
+
+/// Protocol version, echoed in every response.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Everything that can go wrong between the socket and a valid
+/// [`Request`]. The daemon-side extension of the core crate's
+/// `PipelineError` taxonomy: those classify pipeline *stage* failures,
+/// these classify request *transport/shape* failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A line exceeded the configured frame limit.
+    FrameTooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The peer closed the stream mid-frame.
+    ConnectionClosed,
+    /// The socket read or write timed out (slow-loris defence).
+    Timeout,
+    /// The line was not valid JSON.
+    BadJson(String),
+    /// The line parsed but was not a JSON object.
+    NotAnObject,
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field had the wrong type or an out-of-range value.
+    BadField {
+        /// Which field.
+        field: &'static str,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// `kernel` named no known benchmark.
+    UnknownKernel(String),
+    /// `source` did not parse as a kernel program.
+    BadSource(String),
+    /// `op` named no known operation.
+    UnknownOp(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl ProtocolError {
+    /// Stable wire identifier for the error class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolError::FrameTooLarge { .. } => "frame_too_large",
+            ProtocolError::ConnectionClosed => "connection_closed",
+            ProtocolError::Timeout => "timeout",
+            ProtocolError::BadJson(_) => "bad_json",
+            ProtocolError::NotAnObject => "not_an_object",
+            ProtocolError::MissingField(_) => "missing_field",
+            ProtocolError::BadField { .. } => "bad_field",
+            ProtocolError::UnknownKernel(_) => "unknown_kernel",
+            ProtocolError::BadSource(_) => "bad_source",
+            ProtocolError::UnknownOp(_) => "unknown_op",
+            ProtocolError::Io(_) => "io",
+        }
+    }
+
+    /// Whether the connection can keep serving after this error.
+    /// Frame-boundary loss (oversize, timeout, EOF, I/O) is fatal; a
+    /// well-framed but senseless line is not.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::FrameTooLarge { .. }
+                | ProtocolError::ConnectionClosed
+                | ProtocolError::Timeout
+                | ProtocolError::Io(_)
+        )
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::FrameTooLarge { limit } => {
+                write!(f, "frame exceeds {limit} byte limit")
+            }
+            ProtocolError::ConnectionClosed => write!(f, "connection closed mid-frame"),
+            ProtocolError::Timeout => write!(f, "socket timeout"),
+            ProtocolError::BadJson(e) => write!(f, "invalid JSON: {e}"),
+            ProtocolError::NotAnObject => write!(f, "request must be a JSON object"),
+            ProtocolError::MissingField(field) => write!(f, "missing field '{field}'"),
+            ProtocolError::BadField { field, expected } => {
+                write!(f, "field '{field}': expected {expected}")
+            }
+            ProtocolError::UnknownKernel(k) => write!(f, "unknown kernel '{k}'"),
+            ProtocolError::BadSource(e) => write!(f, "source does not parse: {e}"),
+            ProtocolError::UnknownOp(op) => write!(f, "unknown op '{op}'"),
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Solve (or serve from cache) a tile selection.
+    Select,
+    /// Liveness probe.
+    Ping,
+    /// Server + cache counters.
+    Stats,
+    /// Compact the cache journal.
+    Compact,
+    /// Graceful shutdown (drain, flush, exit).
+    Shutdown,
+}
+
+/// How the request binds problem sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizeSpec {
+    /// A named PolyBench dataset: `"standard"` or `"xl"`.
+    Dataset(String),
+    /// Every parameter bound to one value.
+    Uniform(i64),
+    /// Explicit `{param: value}` bindings.
+    Explicit(Vec<(String, i64)>),
+}
+
+/// A parsed `select` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectRequest {
+    /// Named benchmark (`eatss_kernels::by_name`), exclusive with
+    /// `source`.
+    pub kernel: Option<String>,
+    /// Inline kernel DSL source.
+    pub source: Option<String>,
+    /// Problem sizes.
+    pub sizes: SizeSpec,
+    /// Shared-memory split factor (paper §IV-E).
+    pub split: f64,
+    /// Warp fraction (paper §V-D).
+    pub warp_fraction: f64,
+    /// FP32 instead of FP64.
+    pub fp32: bool,
+    /// Strict thread-block cap.
+    pub strict_cap: bool,
+    /// Target architecture name (`ga100` default, or `xavier`).
+    pub arch: Option<String>,
+    /// Per-request solve deadline in milliseconds (clamped server-side).
+    pub deadline_ms: Option<u64>,
+    /// Also compile + measure the selected tiles.
+    pub evaluate: bool,
+    /// Test-only fault injection (`"panic"`, `"sleep:<ms>"`); ignored
+    /// unless the server was started with chaos enabled.
+    pub chaos: Option<String>,
+}
+
+impl SelectRequest {
+    /// The request's solver configuration knobs as an [`EatssConfig`].
+    pub fn eatss_config(&self) -> EatssConfig {
+        EatssConfig {
+            split_factor: self.split,
+            warp_fraction: self.warp_fraction,
+            precision: if self.fp32 {
+                Precision::F32
+            } else {
+                Precision::F64
+            },
+            cap: if self.strict_cap {
+                ThreadBlockCap::Strict
+            } else {
+                ThreadBlockCap::Virtual
+            },
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<String>,
+    /// The operation.
+    pub op: Op,
+    /// Payload for [`Op::Select`].
+    pub select: Option<SelectRequest>,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A [`ProtocolError`] describing exactly which part of the line was
+/// unacceptable.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = Json::parse(line).map_err(ProtocolError::BadJson)?;
+    let obj = value.as_object().ok_or(ProtocolError::NotAnObject)?;
+
+    let id = match obj.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(Json::Num(n)) => Some(eatss_trace::json::number(*n)),
+        Some(_) => {
+            return Err(ProtocolError::BadField {
+                field: "id",
+                expected: "string or number",
+            })
+        }
+    };
+
+    let op = match obj.get("op").and_then(Json::as_str).unwrap_or("select") {
+        "select" => Op::Select,
+        "ping" => Op::Ping,
+        "stats" => Op::Stats,
+        "compact" => Op::Compact,
+        "shutdown" => Op::Shutdown,
+        other => return Err(ProtocolError::UnknownOp(other.to_string())),
+    };
+
+    let select = if op == Op::Select {
+        Some(parse_select(&value)?)
+    } else {
+        None
+    };
+
+    Ok(Request { id, op, select })
+}
+
+fn parse_select(value: &Json) -> Result<SelectRequest, ProtocolError> {
+    let kernel = opt_str(value, "kernel")?;
+    let source = opt_str(value, "source")?;
+    if kernel.is_none() && source.is_none() {
+        return Err(ProtocolError::MissingField("kernel"));
+    }
+
+    let sizes = if let Some(n) = value.get("n") {
+        let n = n.as_f64().ok_or(ProtocolError::BadField {
+            field: "n",
+            expected: "positive integer",
+        })?;
+        if !(n.fract() == 0.0 && (1.0..=1e15).contains(&n)) {
+            return Err(ProtocolError::BadField {
+                field: "n",
+                expected: "positive integer",
+            });
+        }
+        SizeSpec::Uniform(n as i64)
+    } else if let Some(map) = value.get("sizes").and_then(Json::as_object) {
+        let mut pairs = Vec::with_capacity(map.len());
+        for (k, v) in map {
+            let n = v.as_f64().filter(|n| n.fract() == 0.0 && *n >= 1.0).ok_or(
+                ProtocolError::BadField {
+                    field: "sizes",
+                    expected: "object of positive integers",
+                },
+            )?;
+            pairs.push((k.clone(), n as i64));
+        }
+        SizeSpec::Explicit(pairs)
+    } else {
+        match value.get("dataset") {
+            None => SizeSpec::Dataset("standard".to_string()),
+            Some(Json::Str(s)) if s == "standard" || s == "xl" => SizeSpec::Dataset(s.clone()),
+            Some(_) => {
+                return Err(ProtocolError::BadField {
+                    field: "dataset",
+                    expected: "\"standard\" or \"xl\"",
+                })
+            }
+        }
+    };
+
+    let split = opt_f64(value, "split")?.unwrap_or(0.5);
+    if !(0.0..=1.0).contains(&split) {
+        return Err(ProtocolError::BadField {
+            field: "split",
+            expected: "number in [0, 1]",
+        });
+    }
+    let warp_fraction = opt_f64(value, "warp_frac")?.unwrap_or(0.5);
+    if !(warp_fraction > 0.0 && warp_fraction <= 1.0) {
+        return Err(ProtocolError::BadField {
+            field: "warp_frac",
+            expected: "number in (0, 1]",
+        });
+    }
+
+    let deadline_ms = match opt_f64(value, "deadline_ms")? {
+        None => None,
+        Some(ms) if ms.fract() == 0.0 && (1.0..=86_400_000.0).contains(&ms) => Some(ms as u64),
+        Some(_) => {
+            return Err(ProtocolError::BadField {
+                field: "deadline_ms",
+                expected: "positive integer milliseconds",
+            })
+        }
+    };
+
+    Ok(SelectRequest {
+        kernel,
+        source,
+        sizes,
+        split,
+        warp_fraction,
+        fp32: opt_bool(value, "fp32")?.unwrap_or(false),
+        strict_cap: opt_bool(value, "strict_cap")?.unwrap_or(false),
+        arch: opt_str(value, "arch")?,
+        deadline_ms,
+        evaluate: opt_bool(value, "evaluate")?.unwrap_or(false),
+        chaos: opt_str(value, "chaos")?,
+    })
+}
+
+fn opt_str(value: &Json, field: &'static str) -> Result<Option<String>, ProtocolError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ProtocolError::BadField {
+            field,
+            expected: "string",
+        }),
+    }
+}
+
+fn opt_f64(value: &Json, field: &'static str) -> Result<Option<f64>, ProtocolError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(ProtocolError::BadField {
+            field,
+            expected: "number",
+        }),
+    }
+}
+
+fn opt_bool(value: &Json, field: &'static str) -> Result<Option<bool>, ProtocolError> {
+    match value.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(ProtocolError::BadField {
+            field,
+            expected: "boolean",
+        }),
+    }
+}
+
+/// Incremental JSON-lines framer over a raw stream. Holds the carry-over
+/// buffer between frames and enforces the size limit *while reading*, so
+/// an attacker cannot balloon memory by never sending a newline.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameReader {
+    /// A framer enforcing `max_frame` bytes per line (newline included).
+    pub fn new(max_frame: usize) -> Self {
+        FrameReader {
+            buf: Vec::with_capacity(1024),
+            max_frame,
+        }
+    }
+
+    /// Whether a partial frame is buffered — distinguishes a slow-loris
+    /// sender (mid-frame stall, subject to the read timeout) from an idle
+    /// keep-alive connection.
+    pub fn buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads the next line. `Ok(None)` is a clean end-of-stream (EOF at a
+    /// frame boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::FrameTooLarge`] when the limit trips,
+    /// [`ProtocolError::Timeout`] when the socket read times out,
+    /// [`ProtocolError::ConnectionClosed`] on EOF mid-frame, and
+    /// [`ProtocolError::Io`] for everything else.
+    pub fn next_frame(&mut self, stream: &mut impl Read) -> Result<Option<String>, ProtocolError> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let text = String::from_utf8(line)
+                    .map_err(|e| ProtocolError::BadJson(format!("invalid UTF-8: {e}")))?;
+                return Ok(Some(text));
+            }
+            if self.buf.len() >= self.max_frame {
+                return Err(ProtocolError::FrameTooLarge {
+                    limit: self.max_frame,
+                });
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(ProtocolError::ConnectionClosed);
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(ProtocolError::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionReset
+                        || e.kind() == io::ErrorKind::BrokenPipe =>
+                {
+                    return Err(ProtocolError::ConnectionClosed)
+                }
+                Err(e) => return Err(ProtocolError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+/// Builds one response line (without the trailing newline) from
+/// `(key, raw-JSON-value)` pairs. Values must already be valid JSON
+/// fragments; use [`str_field`]/[`eatss_trace::json::number`] helpers.
+pub fn object_line(fields: &[(&str, String)]) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a string as a JSON string literal.
+pub fn str_field(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let r = parse_request(r#"{"kernel": "gemm"}"#).unwrap();
+        assert_eq!(r.op, Op::Select);
+        let s = r.select.unwrap();
+        assert_eq!(s.kernel.as_deref(), Some("gemm"));
+        assert_eq!(s.sizes, SizeSpec::Dataset("standard".into()));
+        assert_eq!(s.split, 0.5);
+        assert!(!s.evaluate);
+    }
+
+    #[test]
+    fn parses_full_select() {
+        let r = parse_request(
+            r#"{"id": "r1", "op": "select", "kernel": "atax", "n": 4000,
+                "split": 0.67, "warp_frac": 0.25, "fp32": true,
+                "strict_cap": true, "deadline_ms": 250, "evaluate": true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id.as_deref(), Some("r1"));
+        let s = r.select.unwrap();
+        assert_eq!(s.sizes, SizeSpec::Uniform(4000));
+        assert_eq!(s.deadline_ms, Some(250));
+        assert!(s.fp32 && s.strict_cap && s.evaluate);
+        let cfg = s.eatss_config();
+        assert_eq!(cfg.split_factor, 0.67);
+        assert_eq!(cfg.precision, Precision::F32);
+    }
+
+    #[test]
+    fn numeric_ids_echo_as_text() {
+        let r = parse_request(r#"{"id": 42, "op": "ping"}"#).unwrap();
+        assert_eq!(r.id.as_deref(), Some("42"));
+    }
+
+    #[test]
+    fn explicit_sizes_parse() {
+        let r = parse_request(r#"{"kernel": "gemm", "sizes": {"M": 100, "N": 200}}"#).unwrap();
+        let SizeSpec::Explicit(pairs) = r.select.unwrap().sizes else {
+            panic!("expected explicit sizes");
+        };
+        assert!(pairs.contains(&("M".into(), 100)));
+        assert!(pairs.contains(&("N".into(), 200)));
+    }
+
+    #[test]
+    fn rejects_garbage_with_typed_errors() {
+        assert!(matches!(
+            parse_request("not json"),
+            Err(ProtocolError::BadJson(_))
+        ));
+        assert!(matches!(
+            parse_request("[1, 2]"),
+            Err(ProtocolError::NotAnObject)
+        ));
+        assert!(matches!(
+            parse_request("{}"),
+            Err(ProtocolError::MissingField("kernel"))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "teleport"}"#),
+            Err(ProtocolError::UnknownOp(_))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kernel": "gemm", "split": 7}"#),
+            Err(ProtocolError::BadField { field: "split", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kernel": "gemm", "deadline_ms": -5}"#),
+            Err(ProtocolError::BadField { field: "deadline_ms", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"kernel": "gemm", "n": 2.5}"#),
+            Err(ProtocolError::BadField { field: "n", .. })
+        ));
+    }
+
+    #[test]
+    fn frame_reader_splits_lines_and_enforces_limit() {
+        let mut input: &[u8] = b"{\"a\":1}\n{\"b\":2}\r\n";
+        let mut reader = FrameReader::new(64);
+        assert_eq!(
+            reader.next_frame(&mut input).unwrap().as_deref(),
+            Some("{\"a\":1}")
+        );
+        assert_eq!(
+            reader.next_frame(&mut input).unwrap().as_deref(),
+            Some("{\"b\":2}")
+        );
+        assert_eq!(reader.next_frame(&mut input).unwrap(), None);
+
+        let big = vec![b'x'; 100];
+        let mut reader = FrameReader::new(64);
+        assert!(matches!(
+            reader.next_frame(&mut big.as_slice()),
+            Err(ProtocolError::FrameTooLarge { limit: 64 })
+        ));
+
+        let mut partial: &[u8] = b"{\"unterminated\": ";
+        let mut reader = FrameReader::new(64);
+        assert!(matches!(
+            reader.next_frame(&mut partial),
+            Err(ProtocolError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn object_line_escapes_keys_and_passes_values() {
+        let line = object_line(&[("status", str_field("ok")), ("n", "3".to_string())]);
+        assert_eq!(line, r#"{"status":"ok","n":3}"#);
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+    }
+}

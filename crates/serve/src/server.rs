@@ -1,0 +1,1258 @@
+//! The daemon: accept loop, admission control, worker pool, response
+//! writing.
+//!
+//! Thread layout (all `std::thread`, no async runtime):
+//!
+//! ```text
+//! acceptor ──► one thread per connection ──► bounded queue ──► workers
+//!                    │  cache fast path                          │
+//!                    ◄──────────── mpsc outcome channel ─────────┘
+//! ```
+//!
+//! Robustness properties, in the order the ISSUE lists them:
+//!
+//! 1. *Request hardening* — frames are size-capped while being read,
+//!    socket reads tick every 100 ms so a mid-frame stall (slow-loris)
+//!    trips the read timeout while idle keep-alive connections survive,
+//!    and every malformed line becomes a typed error response.
+//! 2. *Overload control* — the queue is bounded; admission past the
+//!    bound returns an `overloaded` response with a retry-after hint.
+//!    Concurrent identical requests coalesce on the canonical structural
+//!    cache key: one solve, every waiter gets the outcome.
+//! 3. *Panic isolation* — workers run jobs under `catch_unwind`; a
+//!    panicking solve becomes a `worker_panic` error response and the
+//!    worker returns to its loop.
+//! 4. *Durability* — committed results go through
+//!    [`PersistentTileCache::insert_key`], which journals *before* the
+//!    response is sent: an `ok` answer implies the entry survives
+//!    `kill -9`.
+
+use crate::protocol::{
+    object_line, parse_request, str_field, FrameReader, Op, ProtocolError, SelectRequest,
+    SizeSpec, PROTOCOL_VERSION,
+};
+use crate::ServeError;
+use eatss::cache::encode_key;
+use eatss::{
+    Eatss, EatssError, EatssSolution, EvaluateError, JournalConfig, ModelGenerator,
+    PersistentTileCache, SolutionProvenance, TileCacheStats,
+};
+use eatss_affine::ir::Extent;
+use eatss_affine::{parser::parse_program, ProblemSizes, Program};
+use eatss_gpusim::{FaultPlan, Gpu, GpuArch, SimReport};
+use eatss_kernels::Dataset;
+use eatss_smt::{CancelToken, SolverConfig};
+use eatss_trace::json::number;
+use eatss_trace::{instant, lane_scope, span};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP; use port 0 to bind an ephemeral port (reported by
+    /// [`ServerHandle::tcp_addr`]).
+    Tcp(String),
+    /// Unix domain socket path (removed and re-created on start).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon tunables. `Default` is sized for tests: localhost, ephemeral
+/// port, ephemeral cache, two workers.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen endpoint.
+    pub endpoint: Endpoint,
+    /// Journal directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Journal layout/sync policy (used only with `cache_dir`).
+    pub journal: JournalConfig,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Bounded admission queue capacity; excess is shed.
+    pub queue_capacity: usize,
+    /// Maximum request line size in bytes.
+    pub max_frame_bytes: usize,
+    /// Mid-frame stall budget (slow-loris defence). Idle connections
+    /// between frames are not subject to it.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout.
+    pub write_timeout: Duration,
+    /// Solve deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Upper clamp for requested deadlines.
+    pub max_deadline: Duration,
+    /// How long shutdown waits for queued work before cancelling
+    /// in-flight solves.
+    pub drain_timeout: Duration,
+    /// Honour test-only `chaos` request fields.
+    pub allow_chaos: bool,
+    /// Inject measurement faults into the evaluate path.
+    pub fault_plan: Option<FaultPlan>,
+    /// Architecture used when a request names none.
+    pub default_arch: GpuArch,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".to_string()),
+            cache_dir: None,
+            journal: JournalConfig::default(),
+            workers: 2,
+            queue_capacity: 64,
+            max_frame_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            allow_chaos: false,
+            fault_plan: None,
+            default_arch: GpuArch::ga100(),
+        }
+    }
+}
+
+/// Point-in-time server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines parsed (any op).
+    pub requests: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `infeasible` responses.
+    pub infeasible: u64,
+    /// `error` responses (protocol + pipeline + panic).
+    pub errors: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests answered by joining an in-flight identical solve.
+    pub coalesced: u64,
+    /// Malformed lines / framing violations.
+    pub protocol_errors: u64,
+    /// Worker panics converted to error responses.
+    pub panics_caught: u64,
+    /// Deadline/budget exhaustion answered with the `32^d` fallback.
+    pub fallbacks: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    infeasible: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+    protocol_errors: AtomicU64,
+    panics_caught: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            infeasible: self.infeasible.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted unit of solver work.
+struct Job {
+    /// Coalescing key: cache key ‖ evaluate flag ‖ chaos marker.
+    coalesce_key: Vec<u8>,
+    /// Pure structural cache key.
+    cache_key: Vec<u8>,
+    arch: GpuArch,
+    program: Program,
+    sizes: ProblemSizes,
+    cfg: eatss::EatssConfig,
+    deadline: Duration,
+    evaluate: bool,
+    chaos: Option<String>,
+    lane: u64,
+}
+
+/// What a worker hands back to every waiter of a job. Short-lived (one
+/// channel hop per waiter), so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Outcome {
+    Done {
+        result: Result<EatssSolution, EatssError>,
+        eval: Option<Result<SimReport, String>>,
+        fell_back: bool,
+        served_from_cache: bool,
+    },
+    Panicked(String),
+}
+
+struct Dispatch {
+    queue: VecDeque<Job>,
+    /// Waiters per coalesce key, present from admission until broadcast.
+    in_flight: HashMap<Vec<u8>, Vec<mpsc::Sender<Outcome>>>,
+    active: usize,
+    lane_seq: u64,
+}
+
+enum Admission {
+    Admitted(mpsc::Receiver<Outcome>),
+    Coalesced(mpsc::Receiver<Outcome>),
+    Shed { retry_after_ms: u64 },
+    ShuttingDown,
+}
+
+struct Shared {
+    config: ServerConfig,
+    cache: Mutex<PersistentTileCache>,
+    dispatch: Mutex<Dispatch>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+    shutdown: AtomicBool,
+    shutdown_signal: Mutex<bool>,
+    shutdown_cv: Condvar,
+    cancel: CancelToken,
+    counters: Counters,
+    conns: Mutex<Vec<StreamShutdown>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn admit(&self, job: Job) -> Admission {
+        let mut d = self.dispatch.lock().unwrap();
+        if self.shutting_down() {
+            return Admission::ShuttingDown;
+        }
+        let (tx, rx) = mpsc::channel();
+        if let Some(waiters) = d.in_flight.get_mut(&job.coalesce_key) {
+            waiters.push(tx);
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Admission::Coalesced(rx);
+        }
+        if d.queue.len() >= self.config.queue_capacity {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            let backlog = (d.queue.len() + d.active) as u64;
+            let workers = self.config.workers.max(1) as u64;
+            return Admission::Shed {
+                retry_after_ms: (backlog * 50 / workers).clamp(50, 5000),
+            };
+        }
+        d.in_flight.insert(job.coalesce_key.clone(), vec![tx]);
+        d.queue.push_back(job);
+        drop(d);
+        self.work_cv.notify_one();
+        Admission::Admitted(rx)
+    }
+
+    fn next_lane(&self) -> u64 {
+        let mut d = self.dispatch.lock().unwrap();
+        d.lane_seq += 1;
+        d.lane_seq
+    }
+}
+
+/// Closes a connection's socket from the shutdown path.
+enum StreamShutdown {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl StreamShutdown {
+    fn close(&self) {
+        // Read-half only: a blocked reader wakes with EOF, but a
+        // response still in flight for a drained job reaches the
+        // client before the connection thread exits.
+        match self {
+            StreamShutdown::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Read);
+            }
+            #[cfg(unix)]
+            StreamShutdown::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Read);
+            }
+        }
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn configure(&self, read: Duration, write: Duration) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(Some(read))?;
+                s.set_write_timeout(Some(write))
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                s.set_read_timeout(Some(read))?;
+                s.set_write_timeout(Some(write))
+            }
+        }
+    }
+
+    fn closer(&self) -> io::Result<StreamShutdown> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(StreamShutdown::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(StreamShutdown::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Option<Stream>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Stream::Tcp(s))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Stream::Unix(s))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// The bound address of a running server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// Bound TCP address (with the resolved ephemeral port).
+    Tcp(SocketAddr),
+    /// Unix socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerAddr::Tcp(a) => write!(f, "{a}"),
+            #[cfg(unix)]
+            ServerAddr::Unix(p) => write!(f, "{}", p.display()),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running for the process
+/// lifetime (the daemon binary relies on that); tests should shut down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: ServerAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Where the server listens.
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// The bound TCP address, if TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.addr {
+            ServerAddr::Tcp(a) => Some(a),
+            #[cfg(unix)]
+            _ => None,
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> TileCacheStats {
+        self.shared.cache.lock().unwrap().stats()
+    }
+
+    /// Journal recovery info from startup.
+    pub fn recovery(&self) -> eatss::RecoveryStats {
+        self.shared.cache.lock().unwrap().recovery()
+    }
+
+    /// Entries warm-started from the journal at startup.
+    pub fn replayed(&self) -> u64 {
+        self.shared.cache.lock().unwrap().replayed()
+    }
+
+    /// Blocks until a client sends the in-band `shutdown` op (or
+    /// [`ServerHandle::shutdown`] begins). The daemon binary's main
+    /// thread parks here.
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self.shared.shutdown_signal.lock().unwrap();
+        while !*requested {
+            requested = self.shared.shutdown_cv.wait(requested).unwrap();
+        }
+    }
+
+    /// Graceful drain: stop accepting, finish the queue (cancelling
+    /// in-flight solves if the drain budget runs out — they return
+    /// anytime best-so-far), answer every waiter, close connections,
+    /// join every thread, flush the journal.
+    pub fn shutdown(self) -> ServerStats {
+        let shared = &self.shared;
+        shared.shutdown.store(true, Ordering::SeqCst);
+        *shared.shutdown_signal.lock().unwrap() = true;
+        shared.shutdown_cv.notify_all();
+        shared.work_cv.notify_all();
+
+        // Wait for the queue to drain within the budget, then cancel.
+        let deadline = Instant::now() + shared.config.drain_timeout;
+        {
+            let mut d = shared.dispatch.lock().unwrap();
+            while (!d.queue.is_empty() || d.active > 0) && Instant::now() < deadline {
+                let (next, _) = shared
+                    .idle_cv
+                    .wait_timeout(d, Duration::from_millis(50))
+                    .unwrap();
+                d = next;
+            }
+            if !d.queue.is_empty() || d.active > 0 {
+                shared.cancel.cancel();
+            }
+        }
+        // Workers exit once the queue is empty; cancellation guarantees
+        // in-flight solves reach a checkpoint. Unblock readers.
+        for closer in shared.conns.lock().unwrap().iter() {
+            closer.close();
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let mut cache = shared.cache.lock().unwrap();
+        let _ = cache.flush();
+        shared.counters.snapshot()
+    }
+}
+
+/// Starts the daemon.
+///
+/// # Errors
+///
+/// Binding, journal-open, or socket-configuration failures.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let cache = match &config.cache_dir {
+        Some(dir) => {
+            PersistentTileCache::open(dir, config.default_arch.clone(), config.journal.clone())?
+        }
+        None => PersistentTileCache::ephemeral(config.default_arch.clone()),
+    };
+
+    let (listener, addr) = match &config.endpoint {
+        Endpoint::Tcp(spec) => {
+            let l = TcpListener::bind(spec)?;
+            l.set_nonblocking(true)?;
+            let addr = ServerAddr::Tcp(l.local_addr()?);
+            (Listener::Tcp(l), addr)
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            (Listener::Unix(l), ServerAddr::Unix(path.clone()))
+        }
+    };
+
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        config,
+        cache: Mutex::new(cache),
+        dispatch: Mutex::new(Dispatch {
+            queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+            active: 0,
+            lane_seq: 0,
+        }),
+        work_cv: Condvar::new(),
+        idle_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        shutdown_signal: Mutex::new(false),
+        shutdown_cv: Condvar::new(),
+        cancel: CancelToken::new(),
+        counters: Counters::default(),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("eatss-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("eatss-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, listener))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        threads,
+    })
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: Listener) {
+    // Connection threads are detached: they exit on EOF, fatal protocol
+    // error, or shutdown (their socket is closed under them).
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok(Some(stream)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                if stream
+                    .configure(
+                        Duration::from_millis(100),
+                        shared.config.write_timeout,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+                if let Ok(closer) = stream.closer() {
+                    shared.conns.lock().unwrap().push(closer);
+                }
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("eatss-conn".to_string())
+                    .spawn(move || connection_loop(&shared, stream));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: Stream) {
+    let mut reader = FrameReader::new(shared.config.max_frame_bytes);
+    let mut stalled = Duration::ZERO;
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match reader.next_frame(&mut stream) {
+            Ok(Some(line)) => {
+                stalled = Duration::ZERO;
+                let keep = handle_line(shared, &mut stream, &line);
+                if !keep {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(ProtocolError::Timeout) => {
+                // 100 ms poll tick: only a *mid-frame* stall counts
+                // against the read timeout (slow-loris); idle keep-alive
+                // connections just keep polling.
+                if reader.buffered() {
+                    stalled += Duration::from_millis(100);
+                    if stalled >= shared.config.read_timeout {
+                        shared
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let _ =
+                            write_error(&mut stream, None, &ServeError::from(ProtocolError::Timeout));
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort notice; framing is lost, so close.
+                let _ = write_error(&mut stream, None, &ServeError::from(e));
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one request line. Returns whether the connection should stay
+/// open.
+fn handle_line(shared: &Arc<Shared>, stream: &mut Stream, line: &str) -> bool {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let fatal = e.is_fatal();
+            let _ = write_error(stream, None, &ServeError::from(e));
+            return !fatal;
+        }
+    };
+    let id = request.id.clone();
+    match request.op {
+        Op::Ping => {
+            let _ = write_line(
+                stream,
+                &with_id(&id, vec![("status", str_field("ok")), ("pong", "true".into())]),
+            );
+            true
+        }
+        Op::Stats => {
+            let _ = write_line(stream, &stats_response(shared, &id));
+            true
+        }
+        Op::Compact => {
+            let outcome = shared.cache.lock().unwrap().compact();
+            let line = match outcome {
+                Ok(()) => with_id(&id, vec![("status", str_field("ok"))]),
+                Err(e) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    error_fields(&id, "io", &e.to_string())
+                }
+            };
+            let _ = write_line(stream, &line);
+            true
+        }
+        Op::Shutdown => {
+            let _ = write_line(stream, &with_id(&id, vec![("status", str_field("ok"))]));
+            *shared.shutdown_signal.lock().unwrap() = true;
+            shared.shutdown_cv.notify_all();
+            true
+        }
+        Op::Select => {
+            let select = request.select.expect("select op carries a payload");
+            handle_select(shared, stream, &id, &select)
+        }
+    }
+}
+
+fn handle_select(
+    shared: &Arc<Shared>,
+    stream: &mut Stream,
+    id: &Option<String>,
+    select: &SelectRequest,
+) -> bool {
+    let started = Instant::now();
+    let lane = shared.next_lane();
+    let _lane = lane_scope(lane);
+    let mut sp = span("serve", "request");
+    sp.arg("kernel", select.kernel.clone().unwrap_or_default());
+
+    let (program, sizes, arch) = match resolve_request(shared, select) {
+        Ok(parts) => parts,
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(stream, id.as_deref(), &ServeError::from(e));
+            return true;
+        }
+    };
+    let cfg = select.eatss_config();
+    let deadline = select
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.config.default_deadline)
+        .min(shared.config.max_deadline);
+
+    let cache_key = encode_key(&arch, &program, &sizes, &cfg);
+    let chaos = select.chaos.clone().filter(|_| shared.config.allow_chaos);
+
+    // Fast path: answer cache hits without touching the queue. Evaluate
+    // runs inline off the cached solution (compile + simulate, no
+    // solver).
+    if chaos.is_none() {
+        let cached = shared.cache.lock().unwrap().lookup_key(&cache_key);
+        if let Some(result) = cached {
+            let eval = if select.evaluate {
+                result
+                    .as_ref()
+                    .ok()
+                    .map(|s| run_eval(shared, &arch, &program, s, &sizes, &cfg))
+            } else {
+                None
+            };
+            let outcome = Outcome::Done {
+                result,
+                eval,
+                fell_back: false,
+                served_from_cache: true,
+            };
+            let _ = write_outcome(shared, stream, id.as_deref(), &outcome, "hit", started);
+            return true;
+        }
+    }
+
+    let mut coalesce_key = cache_key.clone();
+    coalesce_key.push(select.evaluate as u8);
+    if let Some(c) = &chaos {
+        coalesce_key.extend_from_slice(c.as_bytes());
+    }
+    let job = Job {
+        coalesce_key,
+        cache_key,
+        arch,
+        program,
+        sizes,
+        cfg,
+        deadline,
+        evaluate: select.evaluate,
+        chaos,
+        lane,
+    };
+    let (rx, cache_tag) = match shared.admit(job) {
+        Admission::Admitted(rx) => (rx, "miss"),
+        Admission::Coalesced(rx) => (rx, "coalesced"),
+        Admission::Shed { retry_after_ms } => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_line(
+                stream,
+                &with_id_opt(
+                    id.as_deref(),
+                    vec![
+                        ("status", str_field("overloaded")),
+                        ("retry_after_ms", retry_after_ms.to_string()),
+                    ],
+                ),
+            );
+            return true;
+        }
+        Admission::ShuttingDown => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(stream, id.as_deref(), &ServeError::ShuttingDown);
+            return true;
+        }
+    };
+
+    match rx.recv() {
+        Ok(outcome) => {
+            let _ = write_outcome(shared, stream, id.as_deref(), &outcome, cache_tag, started);
+            true
+        }
+        Err(_) => {
+            // Worker side dropped without sending — only possible on a
+            // hard shutdown race.
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(stream, id.as_deref(), &ServeError::ShuttingDown);
+            false
+        }
+    }
+}
+
+fn resolve_request(
+    shared: &Arc<Shared>,
+    select: &SelectRequest,
+) -> Result<(Program, ProblemSizes, GpuArch), ProtocolError> {
+    let arch = match select.arch.as_deref() {
+        None => shared.config.default_arch.clone(),
+        Some("ga100") => GpuArch::ga100(),
+        Some("xavier") => GpuArch::xavier(),
+        Some(_) => {
+            return Err(ProtocolError::BadField {
+                field: "arch",
+                expected: "\"ga100\" or \"xavier\"",
+            })
+        }
+    };
+
+    if let Some(name) = &select.kernel {
+        let bench =
+            eatss_kernels::by_name(name).ok_or_else(|| ProtocolError::UnknownKernel(name.clone()))?;
+        let program = bench
+            .program()
+            .map_err(|e| ProtocolError::BadSource(e.to_string()))?;
+        let sizes = match &select.sizes {
+            SizeSpec::Dataset(d) if d == "xl" => bench.sizes(Dataset::ExtraLarge),
+            SizeSpec::Dataset(_) => bench.sizes(Dataset::Standard),
+            SizeSpec::Uniform(n) => bench.sizes_uniform(*n),
+            SizeSpec::Explicit(pairs) => ProblemSizes::new(pairs.iter().map(|(k, v)| (k.as_str(), *v))),
+        };
+        return Ok((program, sizes, arch));
+    }
+
+    let source = select.source.as_deref().expect("kernel or source required");
+    let program = parse_program(source).map_err(|e| ProtocolError::BadSource(e.to_string()))?;
+    let sizes = match &select.sizes {
+        SizeSpec::Uniform(n) => {
+            let params = param_names(&program);
+            ProblemSizes::uniform(params.iter().map(String::as_str), *n)
+        }
+        SizeSpec::Explicit(pairs) => ProblemSizes::new(pairs.iter().map(|(k, v)| (k.as_str(), *v))),
+        SizeSpec::Dataset(_) => {
+            // Named datasets only exist for named benchmarks.
+            return Err(ProtocolError::MissingField("sizes"));
+        }
+    };
+    Ok((program, sizes, arch))
+}
+
+fn param_names(program: &Program) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for kernel in &program.kernels {
+        for dim in &kernel.dims {
+            if let Extent::Param(p) = &dim.extent {
+                names.insert(p.clone());
+            }
+        }
+    }
+    names
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut d = shared.dispatch.lock().unwrap();
+            loop {
+                if let Some(job) = d.queue.pop_front() {
+                    d.active += 1;
+                    break job;
+                }
+                if shared.shutting_down() {
+                    return;
+                }
+                let (next, _) = shared
+                    .work_cv
+                    .wait_timeout(d, Duration::from_millis(100))
+                    .unwrap();
+                d = next;
+            }
+        };
+
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(shared, &job))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                shared.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                instant("serve", "worker_panic", vec![]);
+                Outcome::Panicked(panic_message(payload.as_ref()))
+            }
+        };
+
+        // Durability before visibility: journal committed results before
+        // any waiter hears about them.
+        if let Outcome::Done {
+            result,
+            served_from_cache: false,
+            ..
+        } = &outcome
+        {
+            if is_committed(result) {
+                let _ = shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .insert_key(job.cache_key.clone(), result.clone());
+            }
+        }
+
+        let waiters = {
+            let mut d = shared.dispatch.lock().unwrap();
+            d.active -= 1;
+            let waiters = d.in_flight.remove(&job.coalesce_key);
+            if d.queue.is_empty() && d.active == 0 {
+                shared.idle_cv.notify_all();
+            }
+            waiters
+        };
+        for tx in waiters.unwrap_or_default() {
+            let _ = tx.send(outcome.clone());
+        }
+    }
+}
+
+fn is_committed(result: &Result<EatssSolution, EatssError>) -> bool {
+    match result {
+        Ok(s) => s.provenance == SolutionProvenance::Solved,
+        Err(EatssError::Unsatisfiable { .. }) => true,
+        Err(_) => false,
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
+    let _lane = lane_scope(job.lane);
+    let mut sp = span("serve", "solve");
+    sp.arg("deadline_ms", job.deadline.as_millis() as i64);
+
+    if let Some(chaos) = &job.chaos {
+        if chaos == "panic" {
+            panic!("chaos: requested panic");
+        }
+        if let Some(ms) = chaos.strip_prefix("sleep:").and_then(|s| s.parse::<u64>().ok()) {
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+        }
+    }
+
+    // A racing identical request may have committed between this job's
+    // admission (cache miss) and now; serve the committed entry.
+    if let Some(result) = shared.cache.lock().unwrap().lookup_key(&job.cache_key) {
+        let eval = if job.evaluate {
+            result
+                .as_ref()
+                .ok()
+                .map(|s| run_eval(shared, &job.arch, &job.program, s, &job.sizes, &job.cfg))
+        } else {
+            None
+        };
+        return Outcome::Done {
+            result,
+            eval,
+            fell_back: false,
+            served_from_cache: true,
+        };
+    }
+
+    let solver_config = SolverConfig {
+        deadline: Some(job.deadline),
+        cancel: Some(shared.cancel.clone()),
+        ..SolverConfig::default()
+    };
+    let solved = ModelGenerator::new(&job.arch, job.cfg.clone())
+        .with_solver_config(solver_config)
+        .build(&job.program, Some(&job.sizes))
+        .and_then(|model| model.solve());
+
+    // The anytime ladder's last rung: budget exhausted with nothing
+    // feasible found ⇒ PPCG's default 32^d tiling, marked as fallback.
+    let (result, fell_back) = match solved {
+        Err(EatssError::Exhausted { .. }) => {
+            shared.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            (Ok(EatssSolution::ppcg_default(job.program.max_depth())), true)
+        }
+        other => (other, false),
+    };
+
+    let eval = if job.evaluate {
+        result
+            .as_ref()
+            .ok()
+            .map(|s| run_eval(shared, &job.arch, &job.program, s, &job.sizes, &job.cfg))
+    } else {
+        None
+    };
+
+    Outcome::Done {
+        result,
+        eval,
+        fell_back,
+        served_from_cache: false,
+    }
+}
+
+fn run_eval(
+    shared: &Arc<Shared>,
+    arch: &GpuArch,
+    program: &Program,
+    solution: &EatssSolution,
+    sizes: &ProblemSizes,
+    cfg: &eatss::EatssConfig,
+) -> Result<SimReport, String> {
+    let gpu = match &shared.config.fault_plan {
+        Some(plan) => Gpu::with_faults(arch.clone(), plan.clone()),
+        None => Gpu::new(arch.clone()),
+    };
+    Eatss::with_gpu(gpu)
+        .evaluate(program, &solution.tiles, sizes, cfg)
+        .map_err(|e: EvaluateError| e.to_string())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn write_outcome(
+    shared: &Arc<Shared>,
+    stream: &mut Stream,
+    id: Option<&str>,
+    outcome: &Outcome,
+    cache_tag: &str,
+    started: Instant,
+) -> io::Result<()> {
+    let line = match outcome {
+        Outcome::Panicked(message) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            error_fields_opt(id, "worker_panic", message)
+        }
+        Outcome::Done {
+            result,
+            eval,
+            fell_back,
+            ..
+        } => match result {
+            Ok(solution) => {
+                shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+                let mut fields = vec![
+                    ("status", str_field("ok")),
+                    (
+                        "tiles",
+                        format!(
+                            "[{}]",
+                            solution
+                                .tiles
+                                .sizes()
+                                .iter()
+                                .map(i64::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        ),
+                    ),
+                    ("objective", solution.objective.to_string()),
+                    ("provenance", str_field(&solution.provenance.to_string())),
+                    ("optimal", solution.optimal.to_string()),
+                    ("solver_calls", solution.solver_calls.to_string()),
+                    (
+                        "solve_ms",
+                        number(solution.solve_time.as_secs_f64() * 1000.0),
+                    ),
+                    ("cache", str_field(cache_tag)),
+                    ("fell_back", fell_back.to_string()),
+                    (
+                        "latency_ms",
+                        number(started.elapsed().as_secs_f64() * 1000.0),
+                    ),
+                ];
+                match eval {
+                    Some(Ok(report)) => {
+                        fields.push((
+                            "eval",
+                            object_line(&[
+                                ("time_ms", number(report.time_s * 1000.0)),
+                                ("power_w", number(report.avg_power_w)),
+                                ("energy_j", number(report.energy_j)),
+                                ("gflops", number(report.gflops)),
+                                ("ppw", number(report.ppw)),
+                            ]),
+                        ));
+                    }
+                    Some(Err(message)) => {
+                        fields.push((
+                            "eval_error",
+                            object_line(&[
+                                ("kind", str_field("measure")),
+                                ("message", str_field(message)),
+                            ]),
+                        ));
+                    }
+                    None => {}
+                }
+                with_id_opt(id, fields)
+            }
+            Err(EatssError::Unsatisfiable { reason }) => {
+                shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
+                with_id_opt(
+                    id,
+                    vec![
+                        ("status", str_field("infeasible")),
+                        ("reason", str_field(reason)),
+                        ("cache", str_field(cache_tag)),
+                        (
+                            "latency_ms",
+                            number(started.elapsed().as_secs_f64() * 1000.0),
+                        ),
+                    ],
+                )
+            }
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let serve_error =
+                    ServeError::Pipeline(eatss::PipelineError::from_eatss(e.clone(), "serve"));
+                error_line(id, &serve_error)
+            }
+        },
+    };
+    write_line(stream, &line)
+}
+
+fn stats_response(shared: &Arc<Shared>, id: &Option<String>) -> String {
+    let s = shared.counters.snapshot();
+    let (cache_stats, recovery, replayed, persisted, journal_bytes, durable) = {
+        let cache = shared.cache.lock().unwrap();
+        (
+            cache.stats(),
+            cache.recovery(),
+            cache.replayed(),
+            cache.persisted(),
+            cache.journal_bytes(),
+            cache.is_durable(),
+        )
+    };
+    with_id(
+        id,
+        vec![
+            ("status", str_field("ok")),
+            (
+                "server",
+                object_line(&[
+                    ("connections", s.connections.to_string()),
+                    ("requests", s.requests.to_string()),
+                    ("ok", s.ok.to_string()),
+                    ("infeasible", s.infeasible.to_string()),
+                    ("errors", s.errors.to_string()),
+                    ("shed", s.shed.to_string()),
+                    ("coalesced", s.coalesced.to_string()),
+                    ("protocol_errors", s.protocol_errors.to_string()),
+                    ("panics_caught", s.panics_caught.to_string()),
+                    ("fallbacks", s.fallbacks.to_string()),
+                ]),
+            ),
+            (
+                "cache",
+                object_line(&[
+                    ("hits", cache_stats.hits.to_string()),
+                    ("misses", cache_stats.misses.to_string()),
+                    ("infeasible", cache_stats.infeasible.to_string()),
+                    ("errors", cache_stats.errors.to_string()),
+                    ("replayed", replayed.to_string()),
+                    ("persisted", persisted.to_string()),
+                    ("journal_bytes", journal_bytes.to_string()),
+                    ("durable", durable.to_string()),
+                ]),
+            ),
+            (
+                "recovery",
+                object_line(&[
+                    ("records_recovered", recovery.records_recovered.to_string()),
+                    (
+                        "corrupt_records_skipped",
+                        recovery.corrupt_records_skipped.to_string(),
+                    ),
+                    (
+                        "torn_tails_truncated",
+                        recovery.torn_tails_truncated.to_string(),
+                    ),
+                    ("bytes_discarded", recovery.bytes_discarded.to_string()),
+                ]),
+            ),
+        ],
+    )
+}
+
+fn with_id(id: &Option<String>, fields: Vec<(&str, String)>) -> String {
+    with_id_opt(id.as_deref(), fields)
+}
+
+fn with_id_opt(id: Option<&str>, mut fields: Vec<(&str, String)>) -> String {
+    let mut all = vec![("v", PROTOCOL_VERSION.to_string())];
+    if let Some(id) = id {
+        all.push(("id", str_field(id)));
+    }
+    all.append(&mut fields);
+    object_line(&all)
+}
+
+fn error_fields(id: &Option<String>, kind: &str, message: &str) -> String {
+    error_fields_opt(id.as_deref(), kind, message)
+}
+
+fn error_fields_opt(id: Option<&str>, kind: &str, message: &str) -> String {
+    with_id_opt(
+        id,
+        vec![
+            ("status", str_field("error")),
+            (
+                "error",
+                object_line(&[
+                    ("kind", str_field(kind)),
+                    ("message", str_field(message)),
+                ]),
+            ),
+        ],
+    )
+}
+
+fn error_line(id: Option<&str>, error: &ServeError) -> String {
+    error_fields_opt(id, error.kind(), &error.to_string())
+}
+
+fn write_error(stream: &mut Stream, id: Option<&str>, error: &ServeError) -> io::Result<()> {
+    write_line(stream, &error_line(id, error))
+}
+
+fn write_line(stream: &mut Stream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

@@ -1,0 +1,136 @@
+//! Spawns the real `eatss-serve` binary, commits solutions, SIGKILLs it
+//! mid-flight, restarts on the same cache directory, and asserts every
+//! committed entry survived. This is the crash-safety claim of DESIGN.md
+//! §12 exercised end-to-end through the process boundary.
+
+use eatss_serve::client::{Client, SelectArgs};
+use eatss_trace::json::Json;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    ready: Json,
+}
+
+impl Daemon {
+    fn spawn(cache_dir: &std::path::Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_eatss-serve"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--cache-dir")
+            .arg(cache_dir)
+            .arg("--workers")
+            .arg("2")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn eatss-serve");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("ready line");
+        let ready = Json::parse(&line).expect("ready line is JSON");
+        assert_eq!(ready.get("ready").and_then(Json::as_bool), Some(true));
+        let addr = ready
+            .get("addr")
+            .and_then(Json::as_str)
+            .expect("addr in ready line")
+            .to_string();
+        Daemon { child, addr, ready }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_tcp(&self.addr).expect("connect to daemon")
+    }
+
+    fn kill9(mut self) {
+        // `Child::kill` is SIGKILL on unix: no drain, no flush, no
+        // destructor runs in the daemon.
+        self.child.kill().expect("kill -9");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn status(reply: &Json) -> &str {
+    reply.get("status").and_then(Json::as_str).unwrap_or("")
+}
+
+#[test]
+fn kill9_loses_no_committed_entry_and_warm_starts() {
+    let dir = std::env::temp_dir().join(format!("eatss-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Round 1: commit a handful of solutions (and one infeasibility),
+    // then SIGKILL with a request still in flight.
+    let committed: Vec<(SelectArgs, String, String)> = {
+        let daemon = Daemon::spawn(&dir, &[]);
+        assert_eq!(daemon.ready.get("replayed").and_then(Json::as_f64), Some(0.0));
+        let mut client = daemon.client();
+        let mut committed = Vec::new();
+        for (kernel, n) in [("gemm", 1024), ("atax", 2000), ("bicg", 512), ("gemm", 8)] {
+            let mut args = SelectArgs::kernel(kernel);
+            args.n = Some(n);
+            let reply = client.select(&args).unwrap();
+            let st = status(&reply).to_string();
+            assert!(st == "ok" || st == "infeasible", "{reply:?}");
+            committed.push((args, st, format!("{:?}", reply.get("tiles"))));
+        }
+        // Fire-and-forget: a request the daemon will die holding.
+        let mut inflight = SelectArgs::kernel("mvt");
+        inflight.n = Some(4000);
+        client
+            .write_raw(format!("{}\n", inflight.to_line()).as_bytes())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        daemon.kill9();
+        committed
+    };
+
+    // Round 2: restart on the same directory. Every committed entry is
+    // replayed (the in-flight one may or may not have made it — both
+    // are fine; what is forbidden is losing an answered request).
+    let daemon = Daemon::spawn(&dir, &[]);
+    let replayed = daemon.ready.get("replayed").and_then(Json::as_f64).unwrap();
+    assert!(
+        replayed >= committed.len() as f64,
+        "replayed {replayed} < committed {}",
+        committed.len()
+    );
+    assert_eq!(
+        daemon.ready.get("corrupt_records_skipped").and_then(Json::as_f64),
+        Some(0.0),
+        "SIGKILL must not corrupt committed records"
+    );
+
+    let mut client = daemon.client();
+    for (args, st, tiles) in &committed {
+        let reply = client.select(args).unwrap();
+        assert_eq!(status(&reply), st, "{reply:?}");
+        assert_eq!(reply.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(&format!("{:?}", reply.get("tiles")), tiles);
+    }
+    let stats = client.stats().unwrap();
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(
+        cache.get("misses").and_then(Json::as_f64),
+        Some(0.0),
+        "warm start: nothing re-solved after restart"
+    );
+
+    // In-band shutdown drains cleanly.
+    let reply = client.shutdown().unwrap();
+    assert_eq!(status(&reply), "ok");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,397 @@
+//! In-process robustness tests for the tuning daemon: protocol
+//! hardening, coalescing, overload shedding, panic isolation, deadline
+//! anytime behaviour, infeasible caching, unix sockets, graceful drain.
+
+use eatss_serve::client::{Client, SelectArgs};
+use eatss_serve::server::{start, Endpoint, ServerConfig, ServerHandle};
+use eatss_trace::json::Json;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn test_server(mutate: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig {
+        read_timeout: Duration::from_millis(400),
+        ..ServerConfig::default()
+    };
+    mutate(&mut config);
+    start(config).expect("server starts")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect_tcp(&handle.tcp_addr().unwrap().to_string()).expect("connect")
+}
+
+fn status(reply: &Json) -> &str {
+    reply.get("status").and_then(Json::as_str).unwrap_or("")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eatss-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn select_solves_and_second_request_hits() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(1024);
+    let first = client.select(&args).unwrap();
+    assert_eq!(status(&first), "ok");
+    assert_eq!(
+        first.get("provenance").and_then(Json::as_str),
+        Some("solved")
+    );
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+    let tiles = format!("{:?}", first.get("tiles").unwrap());
+
+    let second = client.select(&args).unwrap();
+    assert_eq!(status(&second), "ok");
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(format!("{:?}", second.get("tiles").unwrap()), tiles);
+
+    let stats = handle.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn infeasible_is_served_from_cache_not_resolved() {
+    // Satellite: `Unsatisfiable` is a valid, cacheable answer. The
+    // second request must be a cache hit counted against the entry
+    // recorded in `TileCacheStats::infeasible`, not a re-solve.
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(8); // WAF 16 > extents of 8 ⇒ proved unsatisfiable
+
+    let first = client.select(&args).unwrap();
+    assert_eq!(status(&first), "infeasible");
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+
+    let second = client.select(&args).unwrap();
+    assert_eq!(status(&second), "infeasible");
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+
+    let stats = handle.cache_stats();
+    assert_eq!(stats.infeasible, 1, "one infeasible entry, solved once");
+    assert_eq!(stats.misses, 1, "second request must not re-solve");
+    assert_eq!(stats.hits, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_connection_survives() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+
+    let reply = client.request_line("this is not json").unwrap();
+    assert_eq!(status(&reply), "error");
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad_json")
+    );
+
+    let reply = client.request_line("[1, 2, 3]").unwrap();
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("not_an_object")
+    );
+
+    let reply = client.request_line(r#"{"op": "select"}"#).unwrap();
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("missing_field")
+    );
+
+    let reply = client
+        .request_line(r#"{"kernel": "not-a-kernel"}"#)
+        .unwrap();
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("unknown_kernel")
+    );
+
+    // After four garbage lines the same connection still works.
+    assert_eq!(status(&client.ping().unwrap()), "ok");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_connection_closed() {
+    let handle = test_server(|c| c.max_frame_bytes = 1024);
+    let mut client = connect(&handle);
+    client.write_raw(&vec![b'a'; 4096]).unwrap();
+    let reply = client.read_response().unwrap();
+    assert_eq!(status(&reply), "error");
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("frame_too_large")
+    );
+    // Framing is lost: the server closes. A fresh connection works.
+    let mut fresh = connect(&handle);
+    assert_eq!(status(&fresh.ping().unwrap()), "ok");
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_idle_keepalive_is_not() {
+    let handle = test_server(|c| c.read_timeout = Duration::from_millis(300));
+
+    // Idle (no partial frame): connection survives well past the stall
+    // budget.
+    let mut idle = connect(&handle);
+    std::thread::sleep(Duration::from_millis(700));
+    assert_eq!(status(&idle.ping().unwrap()), "ok");
+
+    // Mid-frame stall: timeout error, then close.
+    let mut loris = connect(&handle);
+    loris.write_raw(b"{\"op\": \"sel").unwrap();
+    std::thread::sleep(Duration::from_millis(700));
+    let reply = loris.read_response().unwrap();
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("timeout")
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn worker_panic_becomes_error_response_and_daemon_survives() {
+    let handle = test_server(|c| c.allow_chaos = true);
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(700);
+    args.chaos = Some("panic".to_string());
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "error");
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("worker_panic")
+    );
+    assert_eq!(handle.stats().panics_caught, 1);
+
+    // Same connection, same worker pool: a real solve still succeeds.
+    args.chaos = None;
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "ok");
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_retry_hint() {
+    let handle = test_server(|c| {
+        c.allow_chaos = true;
+        c.workers = 1;
+        c.queue_capacity = 2;
+    });
+    let addr = handle.tcp_addr().unwrap().to_string();
+    // Saturate: 8 concurrent slow requests with distinct keys against a
+    // queue of 2 and one worker.
+    let mut threads = Vec::new();
+    for i in 0..8 {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).unwrap();
+            let mut args = SelectArgs::kernel("gemm");
+            args.n = Some(3000 + i);
+            args.chaos = Some("sleep:300".to_string());
+            client.select(&args).unwrap()
+        }));
+    }
+    let replies: Vec<Json> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let shed: Vec<&Json> = replies.iter().filter(|r| status(r) == "overloaded").collect();
+    assert!(!shed.is_empty(), "queue of 2 must shed some of 8 requests");
+    for r in &shed {
+        let hint = r.get("retry_after_ms").and_then(Json::as_f64);
+        assert!(hint.is_some_and(|ms| ms >= 50.0), "hint in {r:?}");
+    }
+    assert_eq!(handle.stats().shed, shed.len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_to_one_solve() {
+    let handle = test_server(|c| {
+        c.allow_chaos = true;
+        c.workers = 2;
+    });
+    let addr = handle.tcp_addr().unwrap().to_string();
+    let mut threads = Vec::new();
+    for _ in 0..6 {
+        let addr = addr.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).unwrap();
+            let mut args = SelectArgs::kernel("atax");
+            args.n = Some(4000);
+            // The sleep keeps the first request in flight while the rest
+            // arrive, making coalescing deterministic.
+            args.chaos = Some("sleep:250".to_string());
+            client.select(&args).unwrap()
+        }));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let replies: Vec<Json> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let tiles: Vec<String> = replies
+        .iter()
+        .map(|r| {
+            assert_eq!(status(r), "ok", "{r:?}");
+            format!("{:?}", r.get("tiles").unwrap())
+        })
+        .collect();
+    assert!(tiles.windows(2).all(|w| w[0] == w[1]), "all waiters share one solution");
+    let coalesced = replies
+        .iter()
+        .filter(|r| r.get("cache").and_then(Json::as_str) == Some("coalesced"))
+        .count();
+    assert!(coalesced >= 4, "expected most requests to coalesce, got {coalesced}");
+    // One solve for the whole herd.
+    assert_eq!(handle.cache_stats().misses, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn tiny_deadline_still_answers_with_provenance() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(2000);
+    args.deadline_ms = Some(1);
+    let reply = client.select(&args).unwrap();
+    // Anytime contract: either a best-so-far solution (incomplete) or
+    // the 32^d fallback — never a hang, never a bare failure.
+    assert_eq!(status(&reply), "ok", "{reply:?}");
+    let provenance = reply.get("provenance").and_then(Json::as_str).unwrap();
+    assert!(
+        ["solved", "incomplete", "fallback"].contains(&provenance),
+        "unexpected provenance {provenance}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn evaluate_attaches_measurement() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("mvt");
+    args.n = Some(4000);
+    args.evaluate = true;
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "ok");
+    let eval = reply.get("eval").expect("eval section");
+    assert!(eval.get("energy_j").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(eval.get("ppw").and_then(Json::as_f64).unwrap() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn inline_source_requests_work() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let args = SelectArgs {
+        source: Some(
+            "kernel mm(M, N, P) {
+               for (i: M) for (j: N) for (k: P)
+                 C[i][j] += A[i][k] * B[k][j];
+             }"
+            .to_string(),
+        ),
+        n: Some(1500),
+        ..SelectArgs::default()
+    };
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "ok", "{reply:?}");
+    assert_eq!(
+        reply.get("tiles").and_then(Json::as_array).map(<[Json]>::len),
+        Some(3)
+    );
+    handle.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_endpoint_works() {
+    let path = std::env::temp_dir().join(format!("eatss-serve-{}.sock", std::process::id()));
+    let handle = test_server(|c| c.endpoint = Endpoint::Unix(path.clone()));
+    let mut client = Client::connect_unix(&path).expect("unix connect");
+    assert_eq!(status(&client.ping().unwrap()), "ok");
+    let mut args = SelectArgs::kernel("bicg");
+    args.n = Some(1024);
+    assert_eq!(status(&client.select(&args).unwrap()), "ok");
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn graceful_drain_finishes_queued_work() {
+    let dir = temp_dir("drain");
+    let handle = test_server(|c| {
+        c.allow_chaos = true;
+        c.cache_dir = Some(dir.clone());
+        c.workers = 1;
+    });
+    let addr = handle.tcp_addr().unwrap().to_string();
+    // Put a slow job in flight, then shut down while it runs.
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect_tcp(&addr).unwrap();
+        let mut args = SelectArgs::kernel("gesummv");
+        args.n = Some(1024);
+        args.chaos = Some("sleep:300".to_string());
+        client.select(&args).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = handle.shutdown(); // must drain, not abandon
+    let reply = worker.join().unwrap();
+    assert_eq!(status(&reply), "ok", "in-flight request completes during drain");
+    assert_eq!(stats.ok, 1);
+
+    // The drained result was committed before the response went out.
+    let handle = test_server(|c| c.cache_dir = Some(dir.clone()));
+    assert_eq!(handle.replayed(), 1, "drained solve is durable");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_start_after_clean_restart() {
+    let dir = temp_dir("warm");
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(900);
+    let tiles = {
+        let handle = test_server(|c| c.cache_dir = Some(dir.clone()));
+        let mut client = connect(&handle);
+        let reply = client.select(&args).unwrap();
+        assert_eq!(status(&reply), "ok");
+        let tiles = format!("{:?}", reply.get("tiles").unwrap());
+        handle.shutdown();
+        tiles
+    };
+    let handle = test_server(|c| c.cache_dir = Some(dir.clone()));
+    assert_eq!(handle.replayed(), 1);
+    let mut client = connect(&handle);
+    let reply = client.select(&args).unwrap();
+    assert_eq!(reply.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(format!("{:?}", reply.get("tiles").unwrap()), tiles);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_op_reports_counters() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(640);
+    client.select(&args).unwrap();
+    client.select(&args).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(status(&stats), "ok");
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+    let server = stats.get("server").expect("server section");
+    assert!(server.get("requests").and_then(Json::as_f64).unwrap() >= 3.0);
+    handle.shutdown();
+}

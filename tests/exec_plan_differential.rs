@@ -139,7 +139,10 @@ fn plan_engine_matches_reference_engine_on_adversarial_tiles() {
                 &compiled.mappings,
                 &sizes,
                 &mut fast,
-                &ExecOptions::default(),
+                &ExecOptions {
+                    engine: ExecEngine::Plan,
+                    ..ExecOptions::default()
+                },
             )
             .unwrap_or_else(|e| panic!("{label}: plan engine: {e}"));
             let ref_opts = ExecOptions {
@@ -193,8 +196,12 @@ proptest! {
         if let Ok(compiled) = ppcg.compile(&program, &tiles, &sizes, &CompileOptions::default()) {
             let mut fast = seed_store(&program, &sizes, SEED).expect("store seeds");
             let mut reference = seed_store(&program, &sizes, SEED).expect("store seeds");
+            let plan_opts = ExecOptions {
+                engine: ExecEngine::Plan,
+                ..ExecOptions::default()
+            };
             let fast_stats = execute_compiled(
-                &program, &compiled.mappings, &sizes, &mut fast, &ExecOptions::default(),
+                &program, &compiled.mappings, &sizes, &mut fast, &plan_opts,
             ).expect("plan engine");
             let ref_opts = ExecOptions {
                 engine: ExecEngine::Reference,
