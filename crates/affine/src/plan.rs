@@ -36,10 +36,52 @@
 
 use crate::interp::{Store, MAX_RANK};
 use crate::ir::{AffineExpr, ArrayRef, Kernel};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Maximum postfix value-stack depth a plan supports; deeper expressions
 /// fall back to the reference interpreter.
 pub const MAX_STACK: usize = 16;
+
+/// Lanes of the chunked (SIMD-style) row loop.
+pub const SIMD_LANES: usize = 4;
+
+/// Runtime switch for the chunked row loop — differential tests flip it
+/// to pin the vector path bitwise against the scalar one.
+static SIMD_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the chunked (SIMD-style) row loop globally.
+///
+/// The vector path is only ever taken where it is provably bitwise
+/// identical to the scalar loop (see [`ExecPlan::exec_row`]), so this
+/// switch can never change results — it exists so differential tests
+/// can compare both paths on identical inputs.
+pub fn set_simd_enabled(enabled: bool) {
+    SIMD_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the chunked row loop is currently enabled.
+pub fn simd_enabled() -> bool {
+    SIMD_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Compiled execution state shared across a *batch* of stores with one
+/// slot layout: slot-resolved address functions and opcode tapes are
+/// compiled once per kernel and reused for every store in the batch.
+///
+/// Built by [`BatchPlan::compile`](crate::interp) and driven by
+/// [`run_program_batch`](crate::interp::run_program_batch); a store whose
+/// layout diverges from the compile-time one silently falls back to the
+/// per-store path, so sharing is purely a performance property.
+#[derive(Debug, Default)]
+pub struct BatchPlan {
+    /// One entry per kernel: trip counts and the compiled plan (`None`
+    /// when the kernel does not lower; the tree-walking reference runs
+    /// instead).
+    pub(crate) kernels: Vec<(Vec<i64>, Option<ExecPlan>)>,
+    /// Layout fingerprint the plans were compiled against:
+    /// `(array name, slot, extents)` in name order.
+    pub(crate) layout: Vec<(String, usize, Vec<i64>)>,
+}
 
 /// A source for pre-routed reads (the compiled analogue of
 /// [`ReadHook`](crate::interp::ReadHook)): `read` receives the route id
@@ -416,6 +458,23 @@ impl ExecPlan {
         scratch: &mut RowScratch,
         routes: &mut impl RouteSource,
     ) {
+        // Chunked (SIMD-style) path: rows where bitwise identity with the
+        // scalar loops is provable run in [`SIMD_LANES`]-wide chunks; the
+        // scalar loops below take the tail, continuing from the advanced
+        // cursors.
+        let mut count = count;
+        if simd_enabled() && count >= SIMD_LANES as i64 {
+            if let Some(wslot) = self.simd_eligible(scratch) {
+                let chunks = count / SIMD_LANES as i64;
+                self.run_row_simd(store, scratch, chunks, wslot);
+                let done = chunks * SIMD_LANES as i64;
+                point[dim] += step * done;
+                count -= done;
+                if count == 0 {
+                    return;
+                }
+            }
+        }
         // Fused fast path for the dominant single-statement shape
         // `W += R0 * R1` with every address resolved to a direct cursor:
         // no tape dispatch, no stack, no per-point write resolution.
@@ -567,6 +626,127 @@ impl ExecPlan {
                 sc.write.0 = sc.write.0.wrapping_add(sc.write.1);
             }
             point[dim] += step;
+        }
+    }
+
+    /// Whether the row in flight may take the chunked lane loop with
+    /// provable bitwise identity to the scalar loops: a single statement
+    /// whose write walks a *distinct* linear cell per point (row delta
+    /// ≠ 0), with every read a direct cursor into a store slot other
+    /// than the written one. Distinct write cells mean lanes never race;
+    /// slot disjointness means no point can observe another point's
+    /// write; direct store-backed cursors mean each lane performs
+    /// exactly the scalar op sequence on exactly the scalar operands.
+    /// Fixed-cell reductions (write delta 0) are deliberately excluded —
+    /// reassociating the accumulation would change rounding — as are
+    /// routed reads, whose sources may be stateful.
+    fn simd_eligible(&self, scratch: &RowScratch) -> Option<u32> {
+        if self.stmts.len() != 1 {
+            return None;
+        }
+        let stmt = &self.stmts[0];
+        let sc = &scratch.stmts[0];
+        let Addr::Linear { slot: wslot, .. } = stmt.write else {
+            return None;
+        };
+        if sc.write.1 == 0 || !sc.reads.iter().all(|c| c.direct) {
+            return None;
+        }
+        let disjoint = stmt.reads.iter().all(|r| match r {
+            Addr::Linear { slot, .. } | Addr::Checked { slot, .. } => *slot != wslot,
+            Addr::Routed { .. } | Addr::Miss => false,
+        });
+        disjoint.then_some(wslot)
+    }
+
+    /// Executes `chunks × SIMD_LANES` points of a row admitted by
+    /// [`ExecPlan::simd_eligible`], evaluating the opcode tape on a
+    /// stack of [`SIMD_LANES`]-wide value vectors. Each lane applies the
+    /// scalar op sequence to the scalar operands of its point, and the
+    /// written cells are pairwise distinct and unobserved by any read,
+    /// so the result is bitwise identical to the scalar loop. Cursors
+    /// are left advanced past the chunks; `point[dim]` is advanced by
+    /// the caller (no checked or routed access remains that needs it).
+    fn run_row_simd(&self, store: &mut Store, scratch: &mut RowScratch, chunks: i64, wslot: u32) {
+        const L: usize = SIMD_LANES;
+        let stmt = &self.stmts[0];
+        let sc = &mut scratch.stmts[0];
+        let mut stack = [[0.0f64; L]; MAX_STACK];
+        for _ in 0..chunks {
+            let mut top = 0usize;
+            for op in &stmt.tape {
+                match *op {
+                    Op::Num(v) => {
+                        stack[top] = [v; L];
+                        top += 1;
+                    }
+                    Op::Read(i) => {
+                        let i = i as usize;
+                        let slot = match &stmt.reads[i] {
+                            Addr::Linear { slot, .. } | Addr::Checked { slot, .. } => *slot,
+                            _ => unreachable!("simd_eligible admits only slot-backed reads"),
+                        };
+                        let data = store.slot_array(slot as usize).data();
+                        let (f, d) = (sc.reads[i].flat, sc.reads[i].delta);
+                        for (lane, v) in stack[top].iter_mut().enumerate() {
+                            *v = data[f.wrapping_add(d.wrapping_mul(lane as i64)) as usize];
+                        }
+                        top += 1;
+                    }
+                    Op::Add => {
+                        top -= 1;
+                        let rhs = stack[top];
+                        for (v, r) in stack[top - 1].iter_mut().zip(rhs) {
+                            *v += r;
+                        }
+                    }
+                    Op::Sub => {
+                        top -= 1;
+                        let rhs = stack[top];
+                        for (v, r) in stack[top - 1].iter_mut().zip(rhs) {
+                            *v -= r;
+                        }
+                    }
+                    Op::Mul => {
+                        top -= 1;
+                        let rhs = stack[top];
+                        for (v, r) in stack[top - 1].iter_mut().zip(rhs) {
+                            *v *= r;
+                        }
+                    }
+                    Op::Div => {
+                        top -= 1;
+                        let rhs = stack[top];
+                        for (v, r) in stack[top - 1].iter_mut().zip(rhs) {
+                            *v /= r;
+                        }
+                    }
+                    Op::Neg => {
+                        for v in stack[top - 1].iter_mut() {
+                            *v = -*v;
+                        }
+                    }
+                    Op::Nan => {
+                        top -= 1;
+                        stack[top - 1] = [f64::NAN; L];
+                    }
+                }
+            }
+            let vals = stack[0];
+            let (wf, wd) = (sc.write.0, sc.write.1);
+            let data = store.slot_array_mut(wslot as usize).data_mut();
+            for (lane, v) in vals.iter().enumerate() {
+                let cell = &mut data[wf.wrapping_add(wd.wrapping_mul(lane as i64)) as usize];
+                if stmt.accumulate {
+                    *cell += *v;
+                } else {
+                    *cell = *v;
+                }
+            }
+            for cursor in &mut sc.reads {
+                cursor.flat = cursor.flat.wrapping_add(cursor.delta.wrapping_mul(L as i64));
+            }
+            sc.write.0 = sc.write.0.wrapping_add(sc.write.1.wrapping_mul(L as i64));
         }
     }
 
@@ -968,6 +1148,65 @@ mod tests {
         plan.exec_point_routed(&mut store, &[2], &mut routes);
         assert_eq!(routes.1, vec![(3, vec![3])], "route id + evaluated index");
         assert_eq!(store.get("B").unwrap().get(&[2]), 10.0);
+    }
+
+    /// Serializes `set_simd_enabled` flips — the flag is global, and the
+    /// comparisons below are only meaningful while it holds still.
+    static SIMD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Runs the plan-backed interpreter with the chunked row loop forced
+    /// on or off, returning the resulting store. Arrays are seeded with
+    /// the same irregular values as [`run_both`]; the division in the
+    /// sources below makes them inexact, so any reordering would show.
+    fn run_fast(src: &str, n: i64, arrays: &[&str], simd: bool) -> Store {
+        let p = parse_program(src).unwrap();
+        let sizes = ProblemSizes::new([("N", n)]);
+        let mut store = Store::new();
+        store.allocate_for(&p, &sizes).unwrap();
+        for name in arrays {
+            store.insert(
+                *name,
+                Array::from_fn(vec![n], |i| {
+                    ((i[0].wrapping_mul(31) % 7) - 3) as f64 / 3.0
+                }),
+            );
+        }
+        set_simd_enabled(simd);
+        let result = crate::interp::run_program(&p, &sizes, &mut store);
+        set_simd_enabled(true);
+        result.unwrap();
+        store
+    }
+
+    /// The chunked row loop is bitwise identical to the scalar loop on
+    /// direct-assign and moving-cell accumulation rows, across every row
+    /// length from a pure tail (shorter than a lane) through exact
+    /// chunks to chunk-plus-tail.
+    #[test]
+    fn simd_rows_match_scalar_rows_including_short_tails() {
+        let _guard = SIMD_LOCK.lock().unwrap();
+        let src = "kernel s(N) { for (i: N) B[i] = 0.5 * A[i] - C[i] / 3.0; }
+                   kernel m(N) { for (i: N) W[i] += A[i] * C[i]; }";
+        for n in 1..=11 {
+            let vector = run_fast(src, n, &["A", "C"], true);
+            let scalar = run_fast(src, n, &["A", "C"], false);
+            let mismatches = compare_stores(&vector, &scalar);
+            assert!(mismatches.is_empty(), "N={n}: simd != scalar: {mismatches:?}");
+        }
+    }
+
+    /// `A[i+1]` reads the cell written one point earlier: a chunked loop
+    /// would read stale lanes, so eligibility must decline rows whose
+    /// read slot is the written slot. The reference comparison (with the
+    /// chunked loop at its default, enabled) pins the sequential
+    /// propagation.
+    #[test]
+    fn aliased_rows_stay_scalar_and_propagate_sequentially() {
+        run_both(
+            "kernel chain(N) { for (i: N) A[i+1] = A[i] / 3.0 + 1.0; }",
+            &[("N", 9)],
+            &[("A", vec![10])],
+        );
     }
 
     #[test]

@@ -8,14 +8,21 @@
 //! same generator inputs), and the optima are cross-checked — a mismatch
 //! is a bug, not a benchmark artifact.
 //!
+//! A third, **sweep-mode** section measures warm-started solving: each
+//! feasible kernel's formulation is solved across several warp-fraction
+//! variants cold (every solve from scratch) and warm (one [`WarmStart`]
+//! threaded through the chain, seeding incumbents and replaying learned
+//! cuts). Optima and tiles are asserted identical variant-by-variant —
+//! warm starts are an accelerator, never an answer-changer.
+//!
 //! Usage: `bench_solver [--fast] [--out PATH]`
 //!   --fast   run a 4-kernel subset (CI smoke)
 //!   --out    output path (default: BENCH_solver.json)
 
-use eatss::{EatssConfig, EatssModel, ModelGenerator};
+use eatss::{EatssConfig, EatssModel, EatssSolution, ModelGenerator};
 use eatss_gpusim::GpuArch;
 use eatss_kernels::Dataset;
-use eatss_smt::reference;
+use eatss_smt::{reference, WarmStart};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -42,11 +49,114 @@ impl KernelRow {
 }
 
 fn build_model(b: &eatss_kernels::Benchmark) -> Option<EatssModel> {
+    build_model_with(b, &EatssConfig::default())
+}
+
+fn build_model_with(b: &eatss_kernels::Benchmark, cfg: &EatssConfig) -> Option<EatssModel> {
     let program = b.program().ok()?;
     let sizes = b.sizes(Dataset::ExtraLarge);
-    ModelGenerator::new(&GpuArch::ga100(), EatssConfig::default())
+    ModelGenerator::new(&GpuArch::ga100(), cfg.clone())
         .build(&program, Some(&sizes))
         .ok()
+}
+
+/// The sweep-mode formulation variants: one §IV model per warp fraction,
+/// descending — the same shape `eatss-core`'s sweep chains use, so hints
+/// transfer from the tightest formulation outward.
+const SWEEP_WARP_FRACTIONS: [f64; 4] = [0.5, 0.4, 0.3, 0.25];
+
+struct SweepRow {
+    name: String,
+    variants: usize,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    cold_nodes: u64,
+    warm_nodes: u64,
+    warm_seeds: u64,
+    warm_cut_hits: u64,
+}
+
+/// Solves one kernel's formulation variants cold and warm (shared
+/// [`WarmStart`]), asserting identical optima and tiles per variant.
+/// Model building stays outside the timed regions; the minimum wall per
+/// mode across repetitions is reported.
+fn run_sweep(b: &eatss_kernels::Benchmark) -> Option<SweepRow> {
+    let cfgs: Vec<EatssConfig> = SWEEP_WARP_FRACTIONS
+        .iter()
+        .map(|&wf| EatssConfig {
+            warp_fraction: wf,
+            ..EatssConfig::default()
+        })
+        .collect();
+    // Every variant must build and solve feasibly to enter the sweep
+    // comparison (an infeasible variant measures refutation, not reuse).
+    let cold_solutions: Vec<EatssSolution> = cfgs
+        .iter()
+        .map(|cfg| build_model_with(b, cfg)?.solve().ok())
+        .collect::<Option<Vec<_>>>()?;
+
+    let mut best_cold = f64::INFINITY;
+    let mut best_warm = f64::INFINITY;
+    let mut row = None;
+    for _ in 0..REPS {
+        let cold_models: Vec<EatssModel> = cfgs
+            .iter()
+            .map(|cfg| build_model_with(b, cfg).expect("model rebuilds"))
+            .collect();
+        let started = Instant::now();
+        let cold: Vec<EatssSolution> = cold_models
+            .into_iter()
+            .map(|m| m.solve().expect("cold solve"))
+            .collect();
+        let cold_wall_s = started.elapsed().as_secs_f64();
+
+        let warm_models: Vec<EatssModel> = cfgs
+            .iter()
+            .map(|cfg| build_model_with(b, cfg).expect("model rebuilds"))
+            .collect();
+        let mut hints = WarmStart::new();
+        let started = Instant::now();
+        let warm: Vec<EatssSolution> = warm_models
+            .into_iter()
+            .map(|m| m.solve_warm(&mut hints).expect("warm solve"))
+            .collect();
+        let warm_wall_s = started.elapsed().as_secs_f64();
+
+        for ((c, w), baseline) in cold.iter().zip(&warm).zip(&cold_solutions) {
+            assert_eq!(
+                (c.objective, c.tiles.sizes()),
+                (w.objective, w.tiles.sizes()),
+                "{}: warm solve changed the answer",
+                b.name
+            );
+            assert_eq!(
+                (c.objective, c.tiles.sizes()),
+                (baseline.objective, baseline.tiles.sizes()),
+                "{}: cold solve not reproducible",
+                b.name
+            );
+        }
+
+        if cold_wall_s < best_cold {
+            best_cold = cold_wall_s;
+        }
+        if warm_wall_s < best_warm {
+            best_warm = warm_wall_s;
+            row = Some(SweepRow {
+                name: b.name.to_owned(),
+                variants: cfgs.len(),
+                cold_wall_s: 0.0,
+                warm_wall_s,
+                cold_nodes: cold.iter().map(|s| s.stats.nodes).sum(),
+                warm_nodes: warm.iter().map(|s| s.stats.nodes).sum(),
+                warm_seeds: warm.iter().map(|s| s.stats.warm_seeds).sum(),
+                warm_cut_hits: warm.iter().map(|s| s.stats.warm_cut_hits).sum(),
+            });
+        }
+    }
+    let mut row = row.expect("at least one rep");
+    row.cold_wall_s = best_cold;
+    Some(row)
 }
 
 /// Wall-clock repetitions per engine per kernel; the minimum is reported
@@ -162,6 +272,27 @@ fn main() {
         });
     }
 
+    println!();
+    let mut sweep_rows = Vec::new();
+    for b in &kernels {
+        let Some(row) = run_sweep(b) else {
+            println!("{:<12} sweep skipped (variant infeasible or unbuildable)", b.name);
+            continue;
+        };
+        println!(
+            "{:<12} sweep cold: {:>9.4} s {:>8} nodes | warm: {:>9.4} s {:>8} nodes | x{:.2} wall, {} seed(s), {} cut hit(s)",
+            row.name,
+            row.cold_wall_s,
+            row.cold_nodes,
+            row.warm_wall_s,
+            row.warm_nodes,
+            row.cold_wall_s / row.warm_wall_s.max(1e-9),
+            row.warm_seeds,
+            row.warm_cut_hits,
+        );
+        sweep_rows.push(row);
+    }
+
     // Aggregate ratios cover feasible kernels only: an infeasible
     // formulation (e.g. fdtd-apml) measures refutation speed, not
     // optimization speed, and would skew the engine comparison.
@@ -195,9 +326,39 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
+    json.push_str("  ],\n  \"sweep\": {\n    \"variants_per_kernel\": ");
+    let sweep_cold: f64 = sweep_rows.iter().map(|r| r.cold_wall_s).sum();
+    let sweep_warm: f64 = sweep_rows.iter().map(|r| r.warm_wall_s).sum();
+    let _ = write!(json, "{},\n    \"kernels\": [\n", SWEEP_WARP_FRACTIONS.len());
+    for (i, r) in sweep_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"name\": \"{}\", \"variants\": {}, \"cold_wall_s\": {:.6}, \"warm_wall_s\": {:.6}, \"wall_ratio\": {:.3}, \"cold_nodes\": {}, \"warm_nodes\": {}, \"warm_seeds\": {}, \"warm_cut_hits\": {}}}{}",
+            r.name,
+            r.variants,
+            r.cold_wall_s,
+            r.warm_wall_s,
+            r.cold_wall_s / r.warm_wall_s.max(1e-9),
+            r.cold_nodes,
+            r.warm_nodes,
+            r.warm_seeds,
+            r.warm_cut_hits,
+            if i + 1 == sweep_rows.len() { "" } else { "," }
+        );
+    }
     let _ = write!(
         json,
-        "  ],\n  \"aggregate\": {{\"feasible_kernels\": {}, \"fast_nodes\": {}, \"reference_nodes\": {}, \"node_ratio\": {:.3}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}\n}}\n",
+        "    ],\n    \"aggregate\": {{\"kernels\": {}, \"cold_wall_s\": {:.6}, \"warm_wall_s\": {:.6}, \"wall_ratio\": {:.3}, \"warm_seeds\": {}, \"warm_cut_hits\": {}}}\n  }},\n",
+        sweep_rows.len(),
+        sweep_cold,
+        sweep_warm,
+        sweep_cold / sweep_warm.max(1e-9),
+        sweep_rows.iter().map(|r| r.warm_seeds).sum::<u64>(),
+        sweep_rows.iter().map(|r| r.warm_cut_hits).sum::<u64>(),
+    );
+    let _ = write!(
+        json,
+        "  \"aggregate\": {{\"feasible_kernels\": {}, \"fast_nodes\": {}, \"reference_nodes\": {}, \"node_ratio\": {:.3}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"wall_ratio\": {:.3}}}\n}}\n",
         feasible.len(),
         fast_nodes as u64,
         ref_nodes as u64,
@@ -211,6 +372,13 @@ fn main() {
     println!(
         "\naggregate: {} vs {} nodes (x{:.1}), {:.4} s vs {:.4} s wall (x{:.1})",
         fast_nodes as u64, ref_nodes as u64, node_ratio, fast_wall, ref_wall, wall_ratio
+    );
+    println!(
+        "sweep aggregate: cold {:.4} s vs warm {:.4} s (x{:.2}) over {} kernel(s)",
+        sweep_cold,
+        sweep_warm,
+        sweep_cold / sweep_warm.max(1e-9),
+        sweep_rows.len()
     );
     println!("wrote {out_path}");
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p eatss-bench --bin oracle_sweep -- \
-//!     [--seed N] [--random N] [--space-cap N] [--time-cap N] [--jobs N]
+//!     [--seed N] [--random N] [--space-cap N] [--time-cap N] [--jobs N] [--batched]
 //! ```
 //!
 //! For every PolyBench kernel, runs solve → map → emulate on shrunk
@@ -14,7 +14,10 @@
 //! set via `EATSS_ORACLE_SEED`. With `--jobs N` benchmarks are verified
 //! by N worker threads; random samples come from per-benchmark seeded
 //! RNGs, so the output is byte-identical to the sequential run (see
-//! `eatss_bench::oracle`). Exits non-zero on a failure count > 0.
+//! `eatss_bench::oracle`). `--batched` routes each benchmark through the
+//! batched oracle (one reference interpretation, shared emulator plans)
+//! with verdicts — and report bytes — identical to the per-config path.
+//! Exits non-zero on a failure count > 0.
 
 use eatss_bench::oracle::{run_oracle_sweep, OracleSweepOptions};
 use std::process::ExitCode;
@@ -49,6 +52,7 @@ fn parse_args() -> Result<OracleSweepOptions, String> {
             "--jobs" => {
                 opts.jobs = parse("--jobs", next_value(&mut args, "--jobs")?)?.max(1) as usize;
             }
+            "--batched" => opts.batched = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -61,7 +65,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: oracle_sweep [--seed N] [--random N] [--space-cap N] [--time-cap N] [--jobs N]"
+                "usage: oracle_sweep [--seed N] [--random N] [--space-cap N] [--time-cap N] [--jobs N] [--batched]"
             );
             return ExitCode::from(2);
         }

@@ -19,7 +19,7 @@ use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
 use eatss_ppcg::oracle::{sample_tile_config, sweep_rng, verify_sizes};
-use eatss_ppcg::{verify, OracleError, OracleOptions};
+use eatss_ppcg::{verify, verify_batch, OracleError, OracleOptions};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -38,6 +38,11 @@ pub struct OracleSweepOptions {
     pub time_cap: i64,
     /// Worker threads (1 = sequential; the report is identical either way).
     pub jobs: usize,
+    /// Verify each benchmark's configurations through the batched oracle
+    /// ([`verify_batch`]): one reference interpretation per benchmark and
+    /// shared emulator plans, with verdicts identical to the per-config
+    /// [`verify`] path.
+    pub batched: bool,
 }
 
 impl Default for OracleSweepOptions {
@@ -48,6 +53,7 @@ impl Default for OracleSweepOptions {
             space_cap: 17,
             time_cap: 3,
             jobs: 1,
+            batched: false,
         }
     }
 }
@@ -168,8 +174,16 @@ fn sweep_benchmark(
         plan.push((format!("random#{i}"), sample_tile_config(&mut rng, &trips)));
     }
 
-    for (label, tiles) in &plan {
-        match verify(&program, tiles, arch, &sizes, oracle_opts, opts.seed) {
+    let verdicts: Vec<Result<eatss_ppcg::OracleReport, OracleError>> = if opts.batched {
+        let configs: Vec<TileConfig> = plan.iter().map(|(_, t)| t.clone()).collect();
+        verify_batch(&program, &configs, arch, &sizes, oracle_opts, opts.seed)
+    } else {
+        plan.iter()
+            .map(|(_, tiles)| verify(&program, tiles, arch, &sizes, oracle_opts, opts.seed))
+            .collect()
+    };
+    for ((label, tiles), verdict) in plan.iter().zip(verdicts) {
+        match verdict {
             Ok(report) => {
                 out.configs += 1;
                 out.points += report.points;

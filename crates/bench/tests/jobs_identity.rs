@@ -29,3 +29,34 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
         assert_eq!(sequential.failures, parallel.failures, "jobs={jobs}");
     }
 }
+
+#[test]
+fn batched_sweep_is_byte_identical_to_per_config() {
+    // The batched oracle shares one reference interpretation and one
+    // emulator plan cache per benchmark, but its verdicts — and hence the
+    // report bytes — must be indistinguishable from the per-config path,
+    // sequential or parallel.
+    let base = OracleSweepOptions {
+        space_cap: 5,
+        time_cap: 2,
+        random: 1,
+        jobs: 1,
+        ..OracleSweepOptions::default()
+    };
+    let per_config = run_oracle_sweep(&base);
+    assert_eq!(per_config.failures, 0, "per-config sweep must be clean");
+    for jobs in [1, 4] {
+        let batched = run_oracle_sweep(&OracleSweepOptions {
+            batched: true,
+            jobs,
+            ..base.clone()
+        });
+        assert_eq!(
+            per_config.report, batched.report,
+            "batched jobs={jobs}: report differs from the per-config run"
+        );
+        assert_eq!(per_config.configs, batched.configs, "jobs={jobs}");
+        assert_eq!(per_config.points, batched.points, "jobs={jobs}");
+        assert_eq!(per_config.failures, batched.failures, "jobs={jobs}");
+    }
+}

@@ -6,7 +6,9 @@ use eatss_affine::analysis::AccessAnalysis;
 use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
-use eatss_smt::{Domain, IntExpr, SolveError, Solver, SolverConfig, SolverStats, StopReason};
+use eatss_smt::{
+    Domain, IntExpr, SolveError, Solver, SolverConfig, SolverStats, StopReason, WarmStart,
+};
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -466,14 +468,48 @@ impl EatssModel {
     /// assignment exists.
     pub fn solve(self) -> Result<EatssSolution, EatssError> {
         let mut span = eatss_trace::span("eatss", "solve");
-        let result = self.solve_impl();
+        let result = self.solve_impl(None);
         finish_solve_span(&mut span, &result);
         result
     }
 
-    fn solve_impl(mut self) -> Result<EatssSolution, EatssError> {
+    /// Like [`EatssModel::solve`], but seeds the branch-and-bound
+    /// incumbent from `warm` (prior feasible models of *related*
+    /// formulations) and records this solve's model back into it.
+    ///
+    /// The returned solution is bit-identical to [`EatssModel::solve`] on
+    /// the same formulation when the search runs to completion: a warm
+    /// floor is always strictly below a feasible objective value, so it
+    /// can only prune provably-suboptimal subtrees (see `eatss-smt`'s
+    /// [`WarmStart`] docs for the full argument). Only `solver_calls` and
+    /// the solver's internal work counters may differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EatssError::Unsatisfiable`] when no feasible tile
+    /// assignment exists.
+    pub fn solve_warm(self, warm: &mut WarmStart) -> Result<EatssSolution, EatssError> {
+        let mut span = eatss_trace::span("eatss", "solve");
+        if span.is_active() {
+            span.arg("warm_hints", warm.len() as u64);
+        }
+        let result = self.solve_impl(Some(warm));
+        finish_solve_span(&mut span, &result);
+        result
+    }
+
+    fn solve_impl(mut self, warm: Option<&mut WarmStart>) -> Result<EatssSolution, EatssError> {
         let started = Instant::now();
-        let outcome = self.solver.maximize(&self.objective)?;
+        let outcome = match warm {
+            Some(warm) => {
+                let outcome = self.solver.maximize_warm(&self.objective, warm)?;
+                if let Some(model) = &outcome.model {
+                    warm.observe(model);
+                }
+                outcome
+            }
+            None => self.solver.maximize(&self.objective)?,
+        };
         let solve_time = started.elapsed();
         let Some(model) = outcome.model else {
             return Err(no_model_error(

@@ -26,8 +26,10 @@ use std::io;
 use std::path::Path;
 use std::time::Duration;
 
-/// Version byte opening every encoded value.
-const VALUE_VERSION: u8 = 1;
+/// Version byte opening every encoded value. Bumped to 2 when the
+/// warm-start counters joined [`SolverStats`]; version-1 journal entries
+/// decode to `None` and are re-solved on the next miss.
+const VALUE_VERSION: u8 = 2;
 /// Value tags.
 const TAG_SOLUTION: u8 = 0;
 const TAG_INFEASIBLE: u8 = 1;
@@ -62,6 +64,8 @@ pub fn encode_result(result: &Result<EatssSolution, EatssError>) -> Option<Vec<u
                 s.stats.cancellations,
                 s.stats.bound_prunes,
                 s.stats.hull_rebuilds,
+                s.stats.warm_seeds,
+                s.stats.warm_cut_hits,
                 s.stats.solve_time.as_micros() as u64,
                 s.stats.propagation_time.as_micros() as u64,
                 s.stats.search_time.as_micros() as u64,
@@ -138,7 +142,7 @@ pub fn decode_result(bytes: &[u8]) -> Option<Result<EatssSolution, EatssError>> 
                 1 => true,
                 _ => return None,
             };
-            let mut counters = [0u64; 13];
+            let mut counters = [0u64; 15];
             for slot in &mut counters {
                 *slot = c.u64()?;
             }
@@ -160,9 +164,11 @@ pub fn decode_result(bytes: &[u8]) -> Option<Result<EatssSolution, EatssError>> 
                     cancellations: counters[7],
                     bound_prunes: counters[8],
                     hull_rebuilds: counters[9],
-                    solve_time: Duration::from_micros(counters[10]),
-                    propagation_time: Duration::from_micros(counters[11]),
-                    search_time: Duration::from_micros(counters[12]),
+                    warm_seeds: counters[10],
+                    warm_cut_hits: counters[11],
+                    solve_time: Duration::from_micros(counters[12]),
+                    propagation_time: Duration::from_micros(counters[13]),
+                    search_time: Duration::from_micros(counters[14]),
                 },
             })
         }

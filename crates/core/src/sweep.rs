@@ -26,7 +26,7 @@ use crate::model::{EatssError, EatssSolution};
 use crate::Eatss;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::SimReport;
-use eatss_smt::SolverConfig;
+use eatss_smt::{SolverConfig, WarmStart};
 use std::time::Duration;
 
 /// The shared-memory split levels of §V-B (0%, 50%, 67%).
@@ -71,6 +71,22 @@ pub struct SweepOptions {
     /// fractions × caps), including which systemic error — if any — is
     /// reported.
     pub jobs: usize,
+    /// Warm-start the per-point maximizations. Configurations that share
+    /// a (warp fraction, cap) pair differ only in the shared-memory split
+    /// — larger splits leave less capacity, so the tightest split's
+    /// optimum is feasible under every looser sibling. Each such group is
+    /// solved as a chain from tightest to loosest split, feeding every
+    /// solved model into a group-local [`WarmStart`] that seeds the next
+    /// point's branch-and-bound incumbent instead of climbing from
+    /// scratch.
+    ///
+    /// Results are identical to cold solves: a warm floor sits strictly
+    /// below a feasible objective value, so only provably-suboptimal
+    /// subtrees are pruned. Each chain's hint sequence is fixed by the
+    /// canonical configuration list — groups never share state — so
+    /// parallel and sequential sweeps stay bit-identical even when
+    /// search budgets bind.
+    pub warm_start: bool,
 }
 
 impl Default for SweepOptions {
@@ -94,8 +110,18 @@ impl Default for SweepOptions {
             ],
             fallback_to_default: true,
             jobs: 1,
+            warm_start: true,
         }
     }
+}
+
+/// How a point's maximization relates to the sweep's warm-start state.
+enum WarmMode<'a> {
+    /// Solve cold (warm starting disabled).
+    Cold,
+    /// Solve with the chain's accumulated hints and record the resulting
+    /// model back into them for the next point in the chain.
+    Seed(&'a mut WarmStart),
 }
 
 /// One solved and measured configuration.
@@ -185,6 +211,7 @@ fn solve_with_retries(
     sizes: &ProblemSizes,
     config: &EatssConfig,
     options: &SweepOptions,
+    warm: &mut WarmMode<'_>,
 ) -> Result<EatssSolution, EatssError> {
     let mut last = EatssError::Exhausted {
         reason: "retry ladder is empty".to_owned(),
@@ -205,7 +232,10 @@ fn solve_with_retries(
             })
             .with_domain_coarsening(attempt.coarsen)
             .build(program, Some(sizes))
-            .and_then(crate::model::EatssModel::solve);
+            .and_then(|model| match warm {
+                WarmMode::Cold => model.solve(),
+                WarmMode::Seed(chain) => model.solve_warm(chain),
+            });
         match result {
             Ok(solution) => {
                 span.arg("outcome", "solved");
@@ -243,6 +273,7 @@ fn process_point(
     config: EatssConfig,
     options: &SweepOptions,
     index: usize,
+    mut warm: WarmMode<'_>,
 ) -> Result<PointContribution, PipelineError> {
     // Events for point `i` go to lane `i + 1` (lane 0 is the control
     // lane), so parallel and sequential sweeps drain to the same
@@ -262,7 +293,7 @@ fn process_point(
     );
     let mut infeasible = None;
     let mut failures = Vec::new();
-    let solved = match solve_with_retries(eatss, program, sizes, &config, options) {
+    let solved = match solve_with_retries(eatss, program, sizes, &config, options, &mut warm) {
         Ok(solution) => Some(solution),
         Err(e @ (EatssError::Unsatisfiable { .. } | EatssError::Exhausted { .. })) => {
             if eatss_trace::collecting() {
@@ -396,15 +427,18 @@ pub fn run_with(
         span.arg("configs", attempted);
         span.arg("jobs", jobs);
     }
+    // The unit of scheduling is a warm-start chain: with warm starting
+    // off every configuration is its own single-point chain; with it on,
+    // configurations sharing a (warp fraction, cap) pair form one chain
+    // ordered tightest-split-first. A chain's hint sequence depends only
+    // on the canonical configuration list, never on scheduling, so the
+    // parallel executor stays bit-identical to the sequential one.
+    let chains = warm_chains(&configs, options.warm_start);
     let contributions: Vec<Result<PointContribution, PipelineError>> =
-        if jobs <= 1 || configs.len() <= 1 {
-            configs
-                .into_iter()
-                .enumerate()
-                .map(|(i, config)| process_point(eatss, program, sizes, config, options, i))
-                .collect()
+        if jobs <= 1 || chains.len() <= 1 {
+            run_chains_sequential(eatss, program, sizes, &configs, chains, options)
         } else {
-            run_parallel(eatss, program, sizes, configs, options, jobs)
+            run_parallel(eatss, program, sizes, &configs, chains, options, jobs)
         };
     // Merge in canonical order. The first systemic error (by canonical
     // index) aborts, exactly as the sequential loop would.
@@ -435,15 +469,95 @@ pub fn run_with(
     })
 }
 
+/// Partitions canonical configuration indices into warm-start chains.
+///
+/// With warm starting off every index is its own chain (maximal
+/// parallelism, no shared state). With it on, indices sharing a
+/// (warp fraction, cap) pair form one chain sorted by *descending* split
+/// factor: larger splits reserve more shared memory away from tiles, so
+/// the tightest point solves first and its optimum is a feasible — and
+/// near-optimal — hint for every looser sibling. Ties keep canonical
+/// order (the sort is stable), so the partition is a pure function of
+/// the configuration list.
+fn warm_chains(configs: &[EatssConfig], warm_start: bool) -> Vec<Vec<usize>> {
+    if !warm_start {
+        return (0..configs.len()).map(|i| vec![i]).collect();
+    }
+    let mut keyed: Vec<((u64, ThreadBlockCap), Vec<usize>)> = Vec::new();
+    for (i, c) in configs.iter().enumerate() {
+        let key = (c.warp_fraction.to_bits(), c.cap);
+        match keyed.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, chain)) => chain.push(i),
+            None => keyed.push((key, vec![i])),
+        }
+    }
+    let mut chains: Vec<Vec<usize>> = keyed.into_iter().map(|(_, chain)| chain).collect();
+    for chain in &mut chains {
+        chain.sort_by(|&a, &b| {
+            configs[b]
+                .split_factor
+                .total_cmp(&configs[a].split_factor)
+        });
+    }
+    chains
+}
+
+/// Processes one chain: points in chain order, each solved with the
+/// hints accumulated from its predecessors, each writing its result into
+/// the point's canonical slot.
+fn run_chain(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    configs: &[EatssConfig],
+    chain: &[usize],
+    options: &SweepOptions,
+    slots: &mut [Option<Result<PointContribution, PipelineError>>],
+) {
+    let mut hints = WarmStart::new();
+    for &i in chain {
+        let warm = if options.warm_start {
+            WarmMode::Seed(&mut hints)
+        } else {
+            WarmMode::Cold
+        };
+        let result = process_point(eatss, program, sizes, configs[i].clone(), options, i, warm);
+        slots[i] = Some(result);
+    }
+}
+
+/// Runs every chain on the caller's thread, returning contributions in
+/// canonical configuration order.
+fn run_chains_sequential(
+    eatss: &Eatss,
+    program: &Program,
+    sizes: &ProblemSizes,
+    configs: &[EatssConfig],
+    chains: Vec<Vec<usize>>,
+    options: &SweepOptions,
+) -> Vec<Result<PointContribution, PipelineError>> {
+    let mut slots: Vec<Option<Result<PointContribution, PipelineError>>> =
+        (0..configs.len()).map(|_| None).collect();
+    for chain in &chains {
+        run_chain(eatss, program, sizes, configs, chain, options, &mut slots);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index belongs to exactly one chain"))
+        .collect()
+}
+
 /// The deterministic parallel executor: a scoped worker pool pulls
-/// configuration indices from a shared atomic counter and writes each
-/// result into its canonical slot. No point is skipped on error — the
-/// merge step decides (deterministically) which error wins.
+/// *chains* from a shared atomic counter and writes each point's result
+/// into its canonical slot. Chains are internally sequential (their hint
+/// accumulation order is part of the contract); no point is skipped on
+/// error — the merge step decides (deterministically) which error wins.
 fn run_parallel(
     eatss: &Eatss,
     program: &Program,
     sizes: &ProblemSizes,
-    configs: Vec<EatssConfig>,
+    configs: &[EatssConfig],
+    chains: Vec<Vec<usize>>,
     options: &SweepOptions,
     jobs: usize,
 ) -> Vec<Result<PointContribution, PipelineError>> {
@@ -453,14 +567,23 @@ fn run_parallel(
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<PointContribution, PipelineError>>>> =
         configs.iter().map(|_| Mutex::new(None)).collect();
-    let workers = jobs.min(configs.len());
+    let workers = jobs.min(chains.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(config) = configs.get(i) else { break };
-                let result = process_point(eatss, program, sizes, config.clone(), options, i);
-                *slots[i].lock().expect("slot poisoned") = Some(result);
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                let Some(chain) = chains.get(c) else { break };
+                let mut hints = WarmStart::new();
+                for &i in chain {
+                    let warm = if options.warm_start {
+                        WarmMode::Seed(&mut hints)
+                    } else {
+                        WarmMode::Cold
+                    };
+                    let result =
+                        process_point(eatss, program, sizes, configs[i].clone(), options, i, warm);
+                    *slots[i].lock().expect("slot poisoned") = Some(result);
+                }
             });
         }
     });
@@ -711,6 +834,51 @@ mod tests {
         for (fa, fb) in a.failures.iter().zip(&b.failures) {
             assert_eq!(fa.0, fb.0);
             assert_eq!(fa.1.to_string(), fb.1.to_string());
+        }
+    }
+
+    #[test]
+    fn warm_sweep_is_bit_identical_to_cold() {
+        // The default warm-started sweep must produce exactly the tiles,
+        // objectives and measurements of a fully cold sweep — the warm
+        // floor only removes provably-suboptimal search work.
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+        let warm = run_with(
+            &eatss,
+            &mm(),
+            &sizes,
+            &PAPER_SPLITS,
+            &[0.5, 1.0],
+            &SweepOptions::default(),
+        )
+        .unwrap();
+        let cold = run_with(
+            &eatss,
+            &mm(),
+            &sizes,
+            &PAPER_SPLITS,
+            &[0.5, 1.0],
+            &SweepOptions {
+                warm_start: false,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_outcomes_identical(&warm, &cold);
+        // The snapshot actually engaged: at least one later point found a
+        // feasible hint and seeded its incumbent from it, and a seeded
+        // search never expands more nodes than its cold twin (the floor
+        // only adds pruning).
+        let seeded: Vec<_> = warm
+            .points
+            .iter()
+            .zip(&cold.points)
+            .filter(|(w, _)| w.solution.stats.warm_seeds > 0)
+            .collect();
+        assert!(!seeded.is_empty(), "no sweep point used a warm seed");
+        for (w, c) in seeded {
+            assert!(w.solution.stats.nodes <= c.solution.stats.nodes);
         }
     }
 

@@ -59,10 +59,11 @@ pub enum BarrierFidelity {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
     /// Per-kernel heuristic: kernels whose total iteration count is
-    /// below [`AUTO_PLAN_THRESHOLD_POINTS`] run on the reference walker
-    /// (plan compilation costs more than it saves on tiny domains —
-    /// bench_oracle measured jacobi-1d at wall_ratio 0.957 under an
-    /// unconditional `Plan`); everything larger gets the compiled plan.
+    /// below [`AUTO_PLAN_THRESHOLD_EMULATOR_POINTS`] run on the
+    /// reference walker (plan compilation plus per-row route dispatch
+    /// cost more than they save on tiny domains — bench_oracle measured
+    /// jacobi-1d at wall_ratio 0.982 under an unconditional `Plan`);
+    /// everything larger gets the compiled plan.
     #[default]
     Auto,
     /// Compile the kernel into an [`ExecPlan`] (staged reads pre-routed,
@@ -74,10 +75,22 @@ pub enum ExecEngine {
     Reference,
 }
 
-/// Iteration-count floor below which [`ExecEngine::Auto`] picks the
-/// reference walker for a kernel. One plan compile amortizes over the
-/// kernel's points; under ~1k points the compile dominates.
+/// Iteration-count floor below which compiling an
+/// [`ExecPlan`](eatss_affine::plan::ExecPlan) stops paying for itself in
+/// general: one compile amortizes over the kernel's points; under ~1k
+/// points the compile dominates.
 pub const AUTO_PLAN_THRESHOLD_POINTS: i64 = 1024;
+
+/// The *emulator's* [`ExecEngine::Auto`] crossover, sitting higher than
+/// the generic [`AUTO_PLAN_THRESHOLD_POINTS`]: emulated plan rows also
+/// pay route dispatch and per-row staging-box checks, so the compile
+/// amortizes later. bench_oracle measured the forced-`Plan` emulator at
+/// wall_ratio 0.982 on a 51-point domain (jacobi-1d) and only ~1.0 near
+/// 900 points (fdtd-2d); no PolyBench kernel at sweep sizes has a domain
+/// between these thresholds, so raising the emulator's floor changes no
+/// current routing except keeping tiny stencil domains on the reference
+/// walker.
+pub const AUTO_PLAN_THRESHOLD_EMULATOR_POINTS: i64 = 2048;
 
 /// Emulator knobs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -283,10 +296,50 @@ fn same_group(a: &ArrayRef, b: &ArrayRef) -> bool {
     })
 }
 
-/// The per-kernel execution core, chosen once per launch loop.
-enum KernelExec {
-    Plan(ExecPlan),
-    Reference,
+/// The staged route a statement read resolves to, if any — the routing
+/// rule shared by plan compilation and the reference hook.
+fn route_of(staged: &[StagedGroup<'_>], r: &ArrayRef) -> Option<usize> {
+    staged
+        .iter()
+        .position(|g| g.array == r.array && same_group(g.representative, r))
+}
+
+/// Compiled plans shared across a batch of configurations of one kernel,
+/// keyed by staged-route signature: a plan embeds the store layout, the
+/// trip counts, and — per statement read — the staged route it resolves
+/// to. The first two are batch invariants; only the route assignment
+/// follows a mapping's staging decisions, so configurations that stage
+/// the same reads share one compiled plan. An entry holding `None`
+/// caches a kernel the plan compiler cannot lower.
+#[derive(Default)]
+struct KernelPlanCache {
+    entries: Vec<(Vec<Option<usize>>, Option<ExecPlan>)>,
+}
+
+impl KernelPlanCache {
+    fn lookup_or_compile(
+        &mut self,
+        kernel: &Kernel,
+        trips: &[i64],
+        store: &Store,
+        staged: &[StagedGroup<'_>],
+    ) -> Option<&ExecPlan> {
+        let signature: Vec<Option<usize>> = kernel
+            .stmts
+            .iter()
+            .flat_map(|s| s.reads.iter())
+            .map(|r| route_of(staged, r))
+            .collect();
+        let pos = match self.entries.iter().position(|(sig, _)| *sig == signature) {
+            Some(pos) => pos,
+            None => {
+                let plan = ExecPlan::compile_routed(kernel, trips, store, |r| route_of(staged, r));
+                self.entries.push((signature, plan));
+                self.entries.len() - 1
+            }
+        };
+        self.entries[pos].1.as_ref()
+    }
 }
 
 /// Serves the plan's pre-routed staged reads, with the same
@@ -361,6 +414,19 @@ pub fn execute_mapped_kernel(
     store: &mut Store,
     opts: &ExecOptions,
 ) -> Result<ExecStats, ExecError> {
+    execute_mapped_kernel_cached(kernel, mapping, sizes, store, opts, None)
+}
+
+/// [`execute_mapped_kernel`] with an optional shared plan cache — the
+/// batched path's hook (see [`execute_compiled_batch`]).
+fn execute_mapped_kernel_cached(
+    kernel: &Kernel,
+    mapping: &GpuMapping,
+    sizes: &ProblemSizes,
+    store: &mut Store,
+    opts: &ExecOptions,
+    cache: Option<&mut KernelPlanCache>,
+) -> Result<ExecStats, ExecError> {
     let mut span = eatss_trace::span("exec", "kernel");
     if span.is_active() {
         span.arg("kernel", kernel.name.as_str());
@@ -414,24 +480,25 @@ pub fn execute_mapped_kernel(
     let use_plan = match opts.engine {
         ExecEngine::Reference => false,
         ExecEngine::Plan => true,
-        ExecEngine::Auto => trips.iter().product::<i64>() >= AUTO_PLAN_THRESHOLD_POINTS,
+        ExecEngine::Auto => {
+            trips.iter().product::<i64>() >= AUTO_PLAN_THRESHOLD_EMULATOR_POINTS
+        }
     };
-    let exec = match use_plan {
-        false => KernelExec::Reference,
-        true => {
-            match ExecPlan::compile_routed(kernel, &trips, store, |r| {
-                staged
-                    .iter()
-                    .position(|g| g.array == r.array && same_group(g.representative, r))
-            }) {
-                Some(plan) => KernelExec::Plan(plan),
-                None => KernelExec::Reference,
+    let owned: Option<ExecPlan>;
+    let exec: Option<&ExecPlan> = if !use_plan {
+        None
+    } else {
+        match cache {
+            Some(cache) => cache.lookup_or_compile(kernel, &trips, store, &staged),
+            None => {
+                owned = ExecPlan::compile_routed(kernel, &trips, store, |r| route_of(&staged, r));
+                owned.as_ref()
             }
         }
     };
-    let mut scratch = match &exec {
-        KernelExec::Plan(plan) => plan.scratch(),
-        KernelExec::Reference => RowScratch::default(),
+    let mut scratch = match exec {
+        Some(plan) => plan.scratch(),
+        None => RowScratch::default(),
     };
 
     // Thread coordinates in linear order, x fastest (CUDA convention) —
@@ -466,7 +533,7 @@ pub fn execute_mapped_kernel(
             &tvals,
             &serial_dims,
             &thread_coords,
-            &exec,
+            exec,
             &mut scratch,
             &mut staged,
             store,
@@ -505,7 +572,7 @@ fn run_launch(
     tvals: &[i64],
     serial_dims: &[usize],
     thread_coords: &[Vec<i64>],
-    exec: &KernelExec,
+    exec: Option<&ExecPlan>,
     scratch: &mut RowScratch,
     staged: &mut [StagedGroup<'_>],
     store: &mut Store,
@@ -604,7 +671,7 @@ fn run_step(
     sorigins: &[i64],
     origins: &[i64],
     thread_coords: &[Vec<i64>],
-    exec: &KernelExec,
+    exec: Option<&ExecPlan>,
     scratch: &mut RowScratch,
     staged: &mut [StagedGroup<'_>],
     store: &mut Store,
@@ -772,7 +839,7 @@ fn run_thread_points(
     coord: &[i64],
     point: &mut Vec<i64>,
     level: usize,
-    exec: &KernelExec,
+    exec: Option<&ExecPlan>,
     scratch: &mut RowScratch,
     router: &mut StagedRouter<'_, '_>,
     store: &mut Store,
@@ -785,7 +852,7 @@ fn run_thread_points(
             // When every mapped cyclic loop is a singleton for this
             // thread (tile extent ≤ thread extent), the innermost serial
             // point loop is the hot loop: run it as a plan row.
-            if let KernelExec::Plan(plan) = exec {
+            if let Some(plan) = exec {
                 match inner_mapped_loops(mapping, tiles, trips, origins, coord, point, mapping.mapped_dims.len()) {
                     InnerLoops::Empty => return Ok(()),
                     InnerLoops::Singleton => {
@@ -826,7 +893,7 @@ fn run_thread_points(
         // This cyclic loop is the innermost one that iterates when every
         // loop inside it is a singleton for this thread: run it as a
         // plan row (point-loop multiplicity > 1, or the x loop itself).
-        if let KernelExec::Plan(plan) = exec {
+        if let Some(plan) = exec {
             match inner_mapped_loops(mapping, tiles, trips, origins, coord, point, pos) {
                 InnerLoops::Empty => return Ok(()),
                 InnerLoops::Singleton => {
@@ -858,8 +925,8 @@ fn run_thread_points(
     // A full point: execute every statement through the chosen engine.
     stats.points += 1;
     match exec {
-        KernelExec::Plan(plan) => plan.exec_point_routed(store, point, router),
-        KernelExec::Reference => {
+        Some(plan) => plan.exec_point_routed(store, point, router),
+        None => {
             let staged_ref = router.staged;
             let mut failure: Option<ExecError> = None;
             {
@@ -913,6 +980,64 @@ pub fn execute_compiled(
         stats.absorb(execute_mapped_kernel(kernel, mapping, sizes, store, opts)?);
     }
     Ok(stats)
+}
+
+/// Executes one program under many tile configurations, compiling each
+/// distinct per-kernel plan once and sharing it across the batch.
+///
+/// Within a batch the problem sizes (hence trip counts) and — when every
+/// store carries the layout of `stores[0]` — the slot layout are
+/// invariant; only the staged-route assignment varies with the tile
+/// configuration. Plans are therefore cached per kernel keyed by route
+/// signature ([`KernelPlanCache`]), so configs that stage the same reads
+/// reuse one compiled plan instead of recompiling per config. A store
+/// whose layout diverges from `stores[0]` falls back to the uncached
+/// [`execute_compiled`]; results are bitwise-identical to running each
+/// config through `execute_compiled` on its own.
+pub fn execute_compiled_batch(
+    program: &Program,
+    configs: &[Vec<GpuMapping>],
+    sizes: &ProblemSizes,
+    stores: &mut [Store],
+    opts: &ExecOptions,
+) -> Vec<Result<ExecStats, ExecError>> {
+    assert_eq!(
+        configs.len(),
+        stores.len(),
+        "one store per tile configuration"
+    );
+    let Some(first) = stores.first() else {
+        return Vec::new();
+    };
+    let layout = eatss_affine::interp::store_layout(first);
+    let mut caches: Vec<KernelPlanCache> = program
+        .kernels
+        .iter()
+        .map(|_| KernelPlanCache::default())
+        .collect();
+    configs
+        .iter()
+        .zip(stores.iter_mut())
+        .map(|(mappings, store)| {
+            if eatss_affine::interp::store_layout(store) != layout {
+                return execute_compiled(program, mappings, sizes, store, opts);
+            }
+            let mut stats = ExecStats::default();
+            for ((kernel, mapping), cache) in
+                program.kernels.iter().zip(mappings).zip(&mut caches)
+            {
+                stats.absorb(execute_mapped_kernel_cached(
+                    kernel,
+                    mapping,
+                    sizes,
+                    store,
+                    opts,
+                    Some(cache),
+                )?);
+            }
+            Ok(stats)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -997,11 +1122,11 @@ mod tests {
     #[test]
     fn auto_engine_is_correct_on_both_sides_of_the_threshold() {
         // 9·10·7 = 630 points resolves to the reference walker,
-        // 12·12·12 = 1728 to the compiled plan; both must match the
+        // 13·13·13 = 2197 to the compiled plan; both must match the
         // interpreter bitwise, so `Auto` is purely a performance knob.
         for sizes in [
             &[("M", 9), ("N", 10), ("P", 7)][..],
-            &[("M", 12), ("N", 12), ("P", 12)][..],
+            &[("M", 13), ("N", 13), ("P", 13)][..],
         ] {
             let points: i64 = sizes.iter().map(|&(_, n)| n).product();
             let (emul, reference, stats) =
@@ -1051,6 +1176,50 @@ mod tests {
             !compare_stores(&emul, &reference).is_empty(),
             "reordering __syncthreads() phases must be observable"
         );
+    }
+
+    #[test]
+    fn batched_execution_matches_sequential_bitwise_with_identical_stats() {
+        let p = parse_program(MM).unwrap();
+        let sizes = ProblemSizes::new([("M", 9), ("N", 10), ("P", 7)]);
+        let tile_sets = [
+            vec![4, 4, 4],
+            vec![3, 5, 2],
+            vec![1, 1, 1],
+            vec![16, 16, 16],
+            vec![4, 4, 4], // duplicate config: exercises plan-cache hits
+        ];
+        let configs: Vec<Vec<GpuMapping>> = tile_sets
+            .iter()
+            .map(|tiles| {
+                crate::Ppcg::new(GpuArch::ga100())
+                    .compile(
+                        &p,
+                        &eatss_affine::tiling::TileConfig::new(tiles.clone()),
+                        &sizes,
+                        &CompileOptions::default(),
+                    )
+                    .unwrap()
+                    .mappings
+            })
+            .collect();
+        for opts in [plan_opts(), ExecOptions::default()] {
+            let mut batched: Vec<Store> = configs
+                .iter()
+                .map(|_| seed_store(&p, &sizes, 42).unwrap())
+                .collect();
+            let results = execute_compiled_batch(&p, &configs, &sizes, &mut batched, &opts);
+            for ((mappings, store), result) in configs.iter().zip(&batched).zip(results) {
+                let mut solo = seed_store(&p, &sizes, 42).unwrap();
+                let solo_stats =
+                    execute_compiled(&p, mappings, &sizes, &mut solo, &opts).unwrap();
+                assert!(
+                    compare_stores(store, &solo).is_empty(),
+                    "batched run diverges from sequential"
+                );
+                assert_eq!(result.unwrap(), solo_stats, "stats diverge");
+            }
+        }
     }
 
     #[test]

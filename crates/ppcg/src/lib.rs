@@ -50,11 +50,14 @@ pub mod oracle;
 pub mod space;
 
 pub use exec::{
-    execute_compiled, execute_mapped_kernel, BarrierFidelity, ExecEngine, ExecError, ExecOptions,
-    ExecStats, AUTO_PLAN_THRESHOLD_POINTS,
+    execute_compiled, execute_compiled_batch, execute_mapped_kernel, BarrierFidelity, ExecEngine,
+    ExecError, ExecOptions, ExecStats, AUTO_PLAN_THRESHOLD_EMULATOR_POINTS,
+    AUTO_PLAN_THRESHOLD_POINTS,
 };
 pub use mapping::{CompileError, CompileOptions, GpuMapping};
-pub use oracle::{seed_store, verify, verify_sizes, OracleError, OracleOptions, OracleReport};
+pub use oracle::{
+    seed_store, verify, verify_batch, verify_sizes, OracleError, OracleOptions, OracleReport,
+};
 pub use space::TileSpace;
 
 use eatss_affine::tiling::TileConfig;

@@ -227,6 +227,126 @@ pub fn verify(
     })
 }
 
+/// [`verify`] over many tile configurations at once, sharing the
+/// expensive invariants across the batch: the reference interpretation
+/// runs once (it does not depend on tiles), and the emulator executes
+/// through [`execute_compiled_batch`], which compiles each distinct
+/// per-kernel route signature once instead of once per configuration.
+///
+/// Returns one `Result` per configuration, in order, with exactly the
+/// same verdicts, reports, and trace counters [`verify`] would produce
+/// config-by-config.
+pub fn verify_batch(
+    program: &Program,
+    configs: &[TileConfig],
+    arch: &GpuArch,
+    sizes: &ProblemSizes,
+    options: &OracleOptions,
+    seed: u64,
+) -> Vec<Result<OracleReport, OracleError>> {
+    let mut span = eatss_trace::span("oracle", "verify_batch");
+    if span.is_active() {
+        span.arg("program", program.name.as_str());
+        span.arg("configs", configs.len() as u64);
+        span.arg("seed", seed);
+    }
+    // Compile every config first; only mappable ones enter the batch.
+    let ppcg = Ppcg::new(arch.clone());
+    let compiled: Vec<Result<Vec<crate::GpuMapping>, OracleError>> = configs
+        .iter()
+        .map(|tiles| {
+            ppcg.compile(program, tiles, sizes, &options.compile)
+                .map(|c| c.mappings)
+                .map_err(OracleError::from)
+        })
+        .collect();
+
+    let mut stores = Vec::new();
+    let mut mappable: Vec<usize> = Vec::new();
+    let mut batch_configs: Vec<Vec<crate::GpuMapping>> = Vec::new();
+    for (i, c) in compiled.iter().enumerate() {
+        if let Ok(mappings) = c {
+            match seed_store(program, sizes, seed) {
+                Ok(store) => {
+                    stores.push(store);
+                    mappable.push(i);
+                    batch_configs.push(mappings.clone());
+                }
+                Err(e) => return configs.iter().map(|_| Err(e.clone().into())).collect(),
+            }
+        }
+    }
+
+    let reference = {
+        let mut store = match seed_store(program, sizes, seed) {
+            Ok(store) => store,
+            Err(e) => return configs.iter().map(|_| Err(e.clone().into())).collect(),
+        };
+        match run_program(program, sizes, &mut store) {
+            Ok(()) => store,
+            Err(e) => return configs.iter().map(|_| Err(e.clone().into())).collect(),
+        }
+    };
+
+    let stats = crate::exec::execute_compiled_batch(
+        program,
+        &batch_configs,
+        sizes,
+        &mut stores,
+        &options.exec,
+    );
+
+    let mut results: Vec<Result<OracleReport, OracleError>> = compiled
+        .into_iter()
+        .map(|c| c.map(|_| OracleReport::default()))
+        .collect();
+    let arrays = reference.arrays().count() as u64;
+    for ((&i, store), stat) in mappable.iter().zip(&stores).zip(stats) {
+        let tiles = &configs[i];
+        results[i] = match stat {
+            Err(e) => Err(e.into()),
+            Ok(stats) => {
+                let mismatches = compare_stores(store, &reference);
+                eatss_trace::counter_add("oracle.points", stats.points);
+                eatss_trace::counter_add("oracle.configs", 1);
+                if mismatches.is_empty() {
+                    Ok(OracleReport {
+                        kernels: program.kernels.len() as u64,
+                        launches: stats.launches,
+                        blocks: stats.blocks,
+                        points: stats.points,
+                        barriers: stats.barriers,
+                        staged_elems: stats.staged_elems,
+                        arrays_compared: arrays,
+                    })
+                } else {
+                    eatss_trace::counter_add("oracle.mismatches", mismatches.len() as u64);
+                    eatss_trace::error!(
+                        "oracle: {}: tiles {} disagree on {} element(s)",
+                        program.name,
+                        tiles,
+                        mismatches.len()
+                    );
+                    let keep = if options.max_mismatches == 0 {
+                        OracleOptions::DEFAULT_MAX_MISMATCHES
+                    } else {
+                        options.max_mismatches
+                    };
+                    let total = mismatches.len();
+                    let mut kept = mismatches;
+                    kept.truncate(keep);
+                    Err(OracleError::Mismatch {
+                        tiles: tiles.to_string(),
+                        mismatches: kept,
+                        total,
+                    })
+                }
+            }
+        };
+    }
+    results
+}
+
 /// Shrinks problem sizes so exhaustive interpretation stays fast: spatial
 /// parameters are capped at `space_cap` and explicit-serial (time-loop)
 /// parameters at `time_cap`.

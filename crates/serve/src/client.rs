@@ -205,6 +205,8 @@ pub struct SelectArgs {
     pub deadline_ms: Option<u64>,
     /// Also measure the selection.
     pub evaluate: bool,
+    /// Also verify the selection against the reference interpreter.
+    pub verify: bool,
     /// Chaos directive (server must allow chaos).
     pub chaos: Option<String>,
 }
@@ -257,6 +259,9 @@ impl SelectArgs {
         if self.evaluate {
             fields.push(("evaluate", "true".to_string()));
         }
+        if self.verify {
+            fields.push(("verify", "true".to_string()));
+        }
         if let Some(c) = &self.chaos {
             fields.push(("chaos", str_field(c)));
         }
@@ -277,11 +282,13 @@ mod tests {
         args.split = Some(0.67);
         args.deadline_ms = Some(100);
         args.evaluate = true;
+        args.verify = true;
         let parsed = parse_request(&args.to_line()).unwrap();
         assert_eq!(parsed.id.as_deref(), Some("x"));
         let s = parsed.select.unwrap();
         assert_eq!(s.kernel.as_deref(), Some("gemm"));
         assert_eq!(s.deadline_ms, Some(100));
         assert!(s.evaluate);
+        assert!(s.verify);
     }
 }

@@ -163,6 +163,9 @@ pub struct SelectRequest {
     pub deadline_ms: Option<u64>,
     /// Also compile + measure the selected tiles.
     pub evaluate: bool,
+    /// Also verify the selected tiles bitwise against the reference
+    /// interpreter (batched differential oracle at shrunk sizes).
+    pub verify: bool,
     /// Test-only fault injection (`"panic"`, `"sleep:<ms>"`); ignored
     /// unless the server was started with chaos enabled.
     pub chaos: Option<String>,
@@ -320,6 +323,7 @@ fn parse_select(value: &Json) -> Result<SelectRequest, ProtocolError> {
         arch: opt_str(value, "arch")?,
         deadline_ms,
         evaluate: opt_bool(value, "evaluate")?.unwrap_or(false),
+        verify: opt_bool(value, "verify")?.unwrap_or(false),
         chaos: opt_str(value, "chaos")?,
     })
 }
@@ -481,14 +485,15 @@ mod tests {
         let r = parse_request(
             r#"{"id": "r1", "op": "select", "kernel": "atax", "n": 4000,
                 "split": 0.67, "warp_frac": 0.25, "fp32": true,
-                "strict_cap": true, "deadline_ms": 250, "evaluate": true}"#,
+                "strict_cap": true, "deadline_ms": 250, "evaluate": true,
+                "verify": true}"#,
         )
         .unwrap();
         assert_eq!(r.id.as_deref(), Some("r1"));
         let s = r.select.unwrap();
         assert_eq!(s.sizes, SizeSpec::Uniform(4000));
         assert_eq!(s.deadline_ms, Some(250));
-        assert!(s.fp32 && s.strict_cap && s.evaluate);
+        assert!(s.fp32 && s.strict_cap && s.evaluate && s.verify);
         let cfg = s.eatss_config();
         assert_eq!(cfg.split_factor, 0.67);
         assert_eq!(cfg.precision, Precision::F32);

@@ -41,7 +41,8 @@ use eatss_affine::ir::Extent;
 use eatss_affine::{parser::parse_program, ProblemSizes, Program};
 use eatss_gpusim::{FaultPlan, Gpu, GpuArch, SimReport};
 use eatss_kernels::Dataset;
-use eatss_smt::{CancelToken, SolverConfig};
+use eatss_ppcg::oracle::verify_sizes;
+use eatss_smt::{CancelToken, SolverConfig, WarmStart};
 use eatss_trace::json::number;
 use eatss_trace::{instant, lane_scope, span};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -147,6 +148,12 @@ pub struct ServerStats {
     pub panics_caught: u64,
     /// Deadline/budget exhaustion answered with the `32^d` fallback.
     pub fallbacks: u64,
+    /// Solves whose branch-and-bound incumbent was seeded from a prior
+    /// solve of the same program structure (warm-start pool hits).
+    pub warm_seeded: u64,
+    /// Responses whose tiles were verified through the batched
+    /// differential oracle (`verify: true` requests answered clean).
+    pub verified: u64,
 }
 
 #[derive(Debug, Default)]
@@ -161,6 +168,8 @@ struct Counters {
     protocol_errors: AtomicU64,
     panics_caught: AtomicU64,
     fallbacks: AtomicU64,
+    warm_seeded: AtomicU64,
+    verified: AtomicU64,
 }
 
 impl Counters {
@@ -176,13 +185,16 @@ impl Counters {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            warm_seeded: self.warm_seeded.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
         }
     }
 }
 
 /// One admitted unit of solver work.
 struct Job {
-    /// Coalescing key: cache key ‖ evaluate flag ‖ chaos marker.
+    /// Coalescing key: cache key ‖ evaluate flag ‖ verify flag ‖ chaos
+    /// marker.
     coalesce_key: Vec<u8>,
     /// Pure structural cache key.
     cache_key: Vec<u8>,
@@ -192,6 +204,7 @@ struct Job {
     cfg: eatss::EatssConfig,
     deadline: Duration,
     evaluate: bool,
+    verify: bool,
     chaos: Option<String>,
     lane: u64,
 }
@@ -204,10 +217,18 @@ enum Outcome {
     Done {
         result: Result<EatssSolution, EatssError>,
         eval: Option<Result<SimReport, String>>,
+        verify: Option<Result<VerifySummary, String>>,
         fell_back: bool,
         served_from_cache: bool,
     },
     Panicked(String),
+}
+
+/// What a clean `verify: true` pass covered (batched oracle).
+#[derive(Debug, Clone, Copy)]
+struct VerifySummary {
+    configs: u64,
+    points: u64,
 }
 
 struct Dispatch {
@@ -237,7 +258,16 @@ struct Shared {
     cancel: CancelToken,
     counters: Counters,
     conns: Mutex<Vec<StreamShutdown>>,
+    /// Warm-start hints pooled by program structure: requests for the
+    /// same (arch, program) at different sizes or configs share every
+    /// constraint shape except the tile bounds, so prior optima seed the
+    /// next solve's incumbent. Bounded LRU; purely an accelerator —
+    /// complete solves return identical results with or without hints.
+    warm: Mutex<Vec<(u64, WarmStart)>>,
 }
+
+/// Entries kept in [`Shared::warm`].
+const WARM_POOL_CAP: usize = 32;
 
 impl Shared {
     fn shutting_down(&self) -> bool {
@@ -544,6 +574,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         cancel: CancelToken::new(),
         counters: Counters::default(),
         conns: Mutex::new(Vec::new()),
+        warm: Mutex::new(Vec::new()),
     });
 
     let mut threads = Vec::with_capacity(workers + 1);
@@ -751,9 +782,18 @@ fn handle_select(
             } else {
                 None
             };
+            let verify = if select.verify {
+                result
+                    .as_ref()
+                    .ok()
+                    .map(|s| run_verify(shared, &arch, &program, s, &sizes))
+            } else {
+                None
+            };
             let outcome = Outcome::Done {
                 result,
                 eval,
+                verify,
                 fell_back: false,
                 served_from_cache: true,
             };
@@ -764,6 +804,7 @@ fn handle_select(
 
     let mut coalesce_key = cache_key.clone();
     coalesce_key.push(select.evaluate as u8);
+    coalesce_key.push(select.verify as u8);
     if let Some(c) = &chaos {
         coalesce_key.extend_from_slice(c.as_bytes());
     }
@@ -776,6 +817,7 @@ fn handle_select(
         cfg,
         deadline,
         evaluate: select.evaluate,
+        verify: select.verify,
         chaos,
         lane,
     };
@@ -938,6 +980,49 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Hashes the structural identity a warm-start pool entry is keyed on:
+/// architecture plus program shape (sizes and configs are deliberately
+/// excluded — those are exactly the axes warm hints transfer across).
+fn warm_key(arch: &GpuArch, program: &Program) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    arch.name.hash(&mut h);
+    format!("{program:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Copies the pooled hints for a structure key (empty when absent),
+/// refreshing its LRU position.
+fn warm_lookup(shared: &Arc<Shared>, key: u64) -> WarmStart {
+    let mut pool = shared.warm.lock().unwrap();
+    match pool.iter().position(|(k, _)| *k == key) {
+        Some(i) => {
+            let entry = pool.remove(i);
+            let hints = entry.1.clone();
+            pool.push(entry);
+            hints
+        }
+        None => WarmStart::new(),
+    }
+}
+
+/// Publishes a worker's post-solve hints for a structure key
+/// (last-writer-wins), evicting the least-recently-used entry past the
+/// pool cap.
+fn warm_publish(shared: &Arc<Shared>, key: u64, hints: WarmStart) {
+    if hints.is_empty() {
+        return;
+    }
+    let mut pool = shared.warm.lock().unwrap();
+    if let Some(i) = pool.iter().position(|(k, _)| *k == key) {
+        pool.remove(i);
+    }
+    if pool.len() == WARM_POOL_CAP {
+        pool.remove(0);
+    }
+    pool.push((key, hints));
+}
+
 fn is_committed(result: &Result<EatssSolution, EatssError>) -> bool {
     match result {
         Ok(s) => s.provenance == SolutionProvenance::Solved,
@@ -971,9 +1056,18 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
         } else {
             None
         };
+        let verify = if job.verify {
+            result
+                .as_ref()
+                .ok()
+                .map(|s| run_verify(shared, &job.arch, &job.program, s, &job.sizes))
+        } else {
+            None
+        };
         return Outcome::Done {
             result,
             eval,
+            verify,
             fell_back: false,
             served_from_cache: true,
         };
@@ -984,10 +1078,21 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
         cancel: Some(shared.cancel.clone()),
         ..SolverConfig::default()
     };
+    // Pull the warm-start hints pooled for this program structure; solve
+    // against a local copy (workers must not hold the pool lock while
+    // solving), then publish the updated hints back.
+    let structure = warm_key(&job.arch, &job.program);
+    let mut hints = warm_lookup(shared, structure);
     let solved = ModelGenerator::new(&job.arch, job.cfg.clone())
         .with_solver_config(solver_config)
         .build(&job.program, Some(&job.sizes))
-        .and_then(|model| model.solve());
+        .and_then(|model| model.solve_warm(&mut hints));
+    if let Ok(s) = &solved {
+        if s.stats.warm_seeds > 0 {
+            shared.counters.warm_seeded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    warm_publish(shared, structure, hints);
 
     // The anytime ladder's last rung: budget exhausted with nothing
     // feasible found ⇒ PPCG's default 32^d tiling, marked as fallback.
@@ -1007,10 +1112,19 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
     } else {
         None
     };
+    let verify = if job.verify {
+        result
+            .as_ref()
+            .ok()
+            .map(|s| run_verify(shared, &job.arch, &job.program, s, &job.sizes))
+    } else {
+        None
+    };
 
     Outcome::Done {
         result,
         eval,
+        verify,
         fell_back,
         served_from_cache: false,
     }
@@ -1032,6 +1146,62 @@ fn run_eval(
         .evaluate(program, &solution.tiles, sizes, cfg)
         .map_err(|e: EvaluateError| e.to_string())
 }
+
+/// Verifies the selected tiles bitwise against the reference interpreter
+/// through the batched differential oracle: the selection and the `32^d`
+/// PPCG default (the daemon's fallback answer) go through one
+/// [`eatss_ppcg::verify_batch`] call at shrunk verification sizes, so the
+/// reference interpretation and the shared emulator plans are paid once
+/// per request, not per config. Only the selected tiles' verdict gates
+/// the response; an unmappable fallback config is not an error.
+fn run_verify(
+    shared: &Arc<Shared>,
+    arch: &GpuArch,
+    program: &Program,
+    solution: &EatssSolution,
+    sizes: &ProblemSizes,
+) -> Result<VerifySummary, String> {
+    let _ = shared;
+    let shrunk = verify_sizes(program, sizes, VERIFY_SPACE_CAP, VERIFY_TIME_CAP);
+    let configs = vec![
+        solution.tiles.clone(),
+        eatss_affine::tiling::TileConfig::ppcg_default(program.max_depth()),
+    ];
+    let verdicts = eatss_ppcg::verify_batch(
+        program,
+        &configs,
+        arch,
+        &shrunk,
+        &eatss_ppcg::OracleOptions::default(),
+        VERIFY_SEED,
+    );
+    let mut summary = VerifySummary {
+        configs: 0,
+        points: 0,
+    };
+    for (i, verdict) in verdicts.into_iter().enumerate() {
+        match verdict {
+            Ok(report) => {
+                summary.configs += 1;
+                summary.points += report.points;
+            }
+            // The fallback config failing to *map* is not a finding;
+            // the selected tiles (index 0) must map and agree.
+            Err(eatss_ppcg::OracleError::Compile(e)) if i > 0 => {
+                let _ = e;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(summary)
+}
+
+/// Spatial / time-loop caps for `verify: true` oracle runs — the same
+/// shrink rule the sweep uses, sized so verification stays interactive.
+const VERIFY_SPACE_CAP: i64 = 17;
+const VERIFY_TIME_CAP: i64 = 3;
+/// Store seed for `verify: true` oracle runs.
+const VERIFY_SEED: u64 = 0xEA75_50AC;
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -1059,6 +1229,7 @@ fn write_outcome(
         Outcome::Done {
             result,
             eval,
+            verify,
             fell_back,
             ..
         } => match result {
@@ -1112,6 +1283,28 @@ fn write_outcome(
                             "eval_error",
                             object_line(&[
                                 ("kind", str_field("measure")),
+                                ("message", str_field(message)),
+                            ]),
+                        ));
+                    }
+                    None => {}
+                }
+                match verify {
+                    Some(Ok(summary)) => {
+                        shared.counters.verified.fetch_add(1, Ordering::Relaxed);
+                        fields.push((
+                            "verify",
+                            object_line(&[
+                                ("configs", summary.configs.to_string()),
+                                ("points", summary.points.to_string()),
+                            ]),
+                        ));
+                    }
+                    Some(Err(message)) => {
+                        fields.push((
+                            "verify_error",
+                            object_line(&[
+                                ("kind", str_field("oracle")),
                                 ("message", str_field(message)),
                             ]),
                         ));
@@ -1176,6 +1369,8 @@ fn stats_response(shared: &Arc<Shared>, id: &Option<String>) -> String {
                     ("protocol_errors", s.protocol_errors.to_string()),
                     ("panics_caught", s.panics_caught.to_string()),
                     ("fallbacks", s.fallbacks.to_string()),
+                    ("warm_seeded", s.warm_seeded.to_string()),
+                    ("verified", s.verified.to_string()),
                 ]),
             ),
             (

@@ -287,6 +287,23 @@ fn evaluate_attaches_measurement() {
 }
 
 #[test]
+fn verify_attaches_batched_oracle_verdict() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(64);
+    args.verify = true;
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "ok");
+    let verify = reply.get("verify").expect("verify section");
+    // The selection plus the 32^d fallback config, each executed and
+    // compared bitwise against the reference interpreter.
+    assert!(verify.get("configs").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert!(verify.get("points").and_then(Json::as_f64).unwrap() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
 fn inline_source_requests_work() {
     let handle = test_server(|_| {});
     let mut client = connect(&handle);

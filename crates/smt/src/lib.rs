@@ -63,5 +63,6 @@ pub use model::Model;
 pub use smtlib::to_smtlib;
 pub use solver::{
     CancelToken, MaximizeOutcome, SolveError, SolveResult, Solver, SolverConfig, StopReason,
+    WarmStart,
 };
 pub use stats::SolverStats;

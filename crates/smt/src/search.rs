@@ -77,7 +77,16 @@ pub(crate) enum SearchMode<'a> {
     Bounded(ObjectiveBound<'a>),
     /// Single-pass branch-and-bound maximization: improving leaves tighten
     /// the incumbent in place and the search continues to exhaustion.
-    Optimize(&'a IntExpr),
+    /// `floor`, when present, seeds the incumbent below a known-achievable
+    /// objective value (warm start): every subtree that survives the seeded
+    /// bound has hull upper bound `> floor`, so subtrees containing an
+    /// optimum-valued leaf are never cut and the first optimum leaf found —
+    /// the returned model — is identical to a cold search's. The seed only
+    /// removes provably-suboptimal work.
+    Optimize {
+        objective: &'a IntExpr,
+        floor: Option<i64>,
+    },
 }
 
 /// One `check` call's worth of search state.
@@ -137,10 +146,10 @@ impl<'a> Search<'a> {
         let (bound, optimize) = match mode {
             SearchMode::Satisfy => (None, false),
             SearchMode::Bounded(b) => (Some(b), false),
-            SearchMode::Optimize(objective) => (
+            SearchMode::Optimize { objective, floor } => (
                 Some(ObjectiveBound {
                     objective,
-                    incumbent: None,
+                    incumbent: floor,
                 }),
                 true,
             ),

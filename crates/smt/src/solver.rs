@@ -176,6 +176,67 @@ pub struct MaximizeOutcome {
     pub stop: Option<StopReason>,
 }
 
+/// Reusable warm-start state for [`Solver::maximize_warm`]: the models of
+/// previous maximizations over *structurally similar* formulations (e.g.
+/// the sweep points of one kernel, which share every constraint except
+/// tile bounds).
+///
+/// A hint is only ever used after being re-validated against the current
+/// formulation — each hinted value must lie in its variable's base domain
+/// and the full assignment must satisfy every asserted constraint exactly
+/// (via [`Model::eval_bool`]). A feasible hint with objective value `v`
+/// proves `v` is achievable, so the branch-and-bound incumbent can start
+/// at `v - 1` instead of at "nothing yet": subtrees whose objective hull
+/// cannot exceed `v - 1` are cut before any propagation is paid for.
+/// Because `v ≤ optimum`, no subtree containing an optimum-valued leaf is
+/// ever cut, and the deterministic DFS reaches the same first optimum
+/// leaf as a cold search — warm starting changes how much work is pruned,
+/// never the returned model, optimum, or verdict. Stale, foreign, or
+/// infeasible hints are silently skipped, so sharing one handle across
+/// threads (even racily snapshotted) is sound.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Most-recent-last ring of full variable assignments, stored by name
+    /// so they survive re-built solvers with the same variable layout.
+    hints: Vec<Vec<(String, i64)>>,
+}
+
+impl WarmStart {
+    /// Hints retained; older ones are evicted first.
+    pub const MAX_HINTS: usize = 8;
+
+    /// An empty handle (the first maximize through it runs cold).
+    pub fn new() -> Self {
+        WarmStart::default()
+    }
+
+    /// Records a solved model as a hint for future maximizations.
+    /// Duplicate assignments are not stored twice.
+    pub fn observe(&mut self, model: &Model) {
+        let bindings: Vec<(String, i64)> = model
+            .bindings()
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect();
+        if self.hints.contains(&bindings) {
+            return;
+        }
+        if self.hints.len() == Self::MAX_HINTS {
+            self.hints.remove(0);
+        }
+        self.hints.push(bindings);
+    }
+
+    /// Number of retained hints.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Whether no hints are retained.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+}
+
 /// A finite-domain non-linear integer constraint solver.
 ///
 /// See the [crate docs](crate) for the role this plays in the EATSS
@@ -430,9 +491,88 @@ impl Solver {
     ///
     /// Propagates [`Solver::check`] errors.
     pub fn maximize(&mut self, objective: &IntExpr) -> Result<MaximizeOutcome, SolveError> {
+        self.maximize_impl(objective, None)
+    }
+
+    /// [`Solver::maximize`] seeded from previous solutions of structurally
+    /// similar formulations. Each hint in `warm` is re-validated against
+    /// *this* solver's base domains and asserted constraints; the best
+    /// feasible hint value `v` seeds the branch-and-bound incumbent at
+    /// `v - 1`, so the search starts with the pruning power a cold run
+    /// only earns after climbing to `v` itself. Results are identical to
+    /// a cold [`Solver::maximize`] — same model, same optimum, same
+    /// verdict (see [`WarmStart`] for the argument) — only
+    /// [`MaximizeOutcome::solver_calls`] (improvements actually taken) and
+    /// the work counters shrink. Hints used/validated are counted in
+    /// [`SolverStats::warm_seeds`] / [`SolverStats::warm_cut_hits`].
+    ///
+    /// On success the returned model is *not* auto-recorded; call
+    /// [`WarmStart::observe`] with it to extend the hint set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Solver::maximize`].
+    pub fn maximize_warm(
+        &mut self,
+        objective: &IntExpr,
+        warm: &WarmStart,
+    ) -> Result<MaximizeOutcome, SolveError> {
+        self.validate()?;
+        let floor = self.warm_floor(objective, warm);
+        self.maximize_impl(objective, floor)
+    }
+
+    /// Best feasible hint value minus one, or `None` when no hint survives
+    /// re-validation. Hints missing a variable of this solver, binding a
+    /// value outside its base domain, violating any asserted constraint,
+    /// or failing to evaluate are skipped — never trusted.
+    fn warm_floor(&mut self, objective: &IntExpr, warm: &WarmStart) -> Option<i64> {
+        let mut best: Option<i64> = None;
+        let mut hits = 0u64;
+        'hints: for hint in &warm.hints {
+            let mut values = Vec::with_capacity(self.names.len());
+            for (name, domain) in self.names.iter().zip(&self.base_domains) {
+                let Some(&(_, v)) = hint.iter().find(|(n, _)| n == name) else {
+                    continue 'hints;
+                };
+                if !domain.contains(v) {
+                    continue 'hints;
+                }
+                values.push(v);
+            }
+            let model = Model::new(values, self.names.clone());
+            for (c, _) in &self.constraints {
+                if !matches!(model.eval_bool(c), Ok(true)) {
+                    continue 'hints;
+                }
+            }
+            let Ok(v) = model.eval(objective) else {
+                continue 'hints;
+            };
+            hits += 1;
+            best = Some(best.map_or(v, |b: i64| b.max(v)));
+        }
+        self.stats.warm_cut_hits += hits;
+        let floor = best.map(|v| v.saturating_sub(1));
+        if floor.is_some() {
+            self.stats.warm_seeds += 1;
+        }
+        floor
+    }
+
+    fn maximize_impl(
+        &mut self,
+        objective: &IntExpr,
+        floor: Option<i64>,
+    ) -> Result<MaximizeOutcome, SolveError> {
         self.validate()?;
         let mut span = eatss_trace::span("smt", "maximize");
         let stats_before = if span.is_active() { Some(self.stats.clone()) } else { None };
+        if span.is_active() {
+            if let Some(f) = floor {
+                span.arg("warm_floor", f);
+            }
+        }
         let deadline_at = self.config.deadline.map(|d| Instant::now() + d);
         let started = Instant::now();
         self.stats.checks += 1;
@@ -460,7 +600,7 @@ impl Solver {
                 node_cap: self.config.node_limit,
                 deadline_at,
             },
-            SearchMode::Optimize(objective),
+            SearchMode::Optimize { objective, floor },
         );
         // In optimize mode the search never returns from `run` with a
         // model — improving leaves are recorded and the search continues.
@@ -1236,5 +1376,102 @@ mod tests {
         assert!(s.stats().node_limit_hits >= 1);
         // Blocking clauses fully popped.
         assert!(matches!(s.pop(), Err(SolveError::PopWithoutPush)));
+    }
+
+    #[test]
+    fn warm_maximize_matches_cold_solve_bitwise() {
+        // Cold solve, observe the optimum, then re-solve a fresh but
+        // identical formulation warm: the returned model, objective value
+        // and optimality flag must be bit-identical — the floor only
+        // removes provably-suboptimal work, never the optimum leaf.
+        let (mut cold, obj) = matmul_formulation(SolverConfig::default(), 16);
+        let cold_out = cold.maximize(&obj).unwrap();
+        assert!(cold_out.optimal);
+        let cold_model = cold_out.model.clone().unwrap();
+
+        let mut warm_start = WarmStart::new();
+        warm_start.observe(&cold_model);
+
+        let (mut warm, obj2) = matmul_formulation(SolverConfig::default(), 16);
+        let warm_out = warm.maximize_warm(&obj2, &warm_start).unwrap();
+        assert_eq!(warm_out.best, cold_out.best);
+        assert_eq!(warm_out.optimal, cold_out.optimal);
+        let warm_model = warm_out.model.unwrap();
+        let cold_bindings: Vec<_> = cold_model.bindings().map(|(n, v)| (n.to_owned(), v)).collect();
+        let warm_bindings: Vec<_> = warm_model.bindings().map(|(n, v)| (n.to_owned(), v)).collect();
+        assert_eq!(warm_bindings, cold_bindings);
+        // The warm run starts at the optimum's floor, so it needs at most
+        // as many improvement passes as the cold run.
+        assert!(warm_out.solver_calls <= cold_out.solver_calls);
+        assert_eq!(warm.stats().warm_seeds, 1);
+        assert!(warm.stats().warm_cut_hits >= 1);
+    }
+
+    #[test]
+    fn warm_start_skips_unusable_hints() {
+        // Hints that are infeasible, bind values outside the base domains,
+        // or miss variables entirely contribute no floor — the maximize
+        // then runs exactly like a cold solve and still finds the optimum.
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 64);
+        let y = s.int_var("y", 1, 64);
+        s.assert((x.clone() * y.clone()).le(100));
+        let obj = x.clone() + y.clone();
+
+        let mut warm = WarmStart::new();
+        // Infeasible: x*y = 50*50 violates the capacity constraint.
+        warm.observe(&Model::new(
+            vec![50, 50],
+            vec!["x".to_owned(), "y".to_owned()],
+        ));
+        // Out of domain: y = 200 > 64.
+        warm.observe(&Model::new(
+            vec![1, 200],
+            vec!["x".to_owned(), "y".to_owned()],
+        ));
+        // Foreign formulation: misses `y` entirely.
+        warm.observe(&Model::new(vec![3], vec!["x".to_owned()]));
+
+        let out = s.maximize_warm(&obj, &warm).unwrap();
+        assert!(out.optimal);
+        assert_eq!(out.best, Some(65));
+        assert_eq!(s.stats().warm_seeds, 0, "no usable hint, no seed");
+        assert_eq!(s.stats().warm_cut_hits, 0);
+    }
+
+    #[test]
+    fn warm_start_feasible_suboptimal_hint_still_finds_optimum() {
+        // A feasible-but-suboptimal hint seeds a floor strictly below its
+        // own value; the search must still climb to the true optimum.
+        let mut s = Solver::new();
+        let x = s.int_var("x", 1, 64);
+        let y = s.int_var("y", 1, 64);
+        s.assert((x.clone() * y.clone()).le(100));
+        let obj = x.clone() + y.clone();
+
+        let mut warm = WarmStart::new();
+        warm.observe(&Model::new(
+            vec![2, 50],
+            vec!["x".to_owned(), "y".to_owned()],
+        ));
+        let out = s.maximize_warm(&obj, &warm).unwrap();
+        assert!(out.optimal);
+        assert_eq!(out.best, Some(65));
+        assert_eq!(s.stats().warm_seeds, 1);
+        assert_eq!(s.stats().warm_cut_hits, 1);
+    }
+
+    #[test]
+    fn warm_start_observe_dedups_and_evicts_oldest() {
+        let mut warm = WarmStart::new();
+        let names = vec!["x".to_owned()];
+        let m = Model::new(vec![7], names.clone());
+        warm.observe(&m);
+        warm.observe(&m);
+        assert_eq!(warm.len(), 1, "identical bindings are deduplicated");
+        for v in 0..(WarmStart::MAX_HINTS as i64 + 4) {
+            warm.observe(&Model::new(vec![v], names.clone()));
+        }
+        assert_eq!(warm.len(), WarmStart::MAX_HINTS, "bounded ring of hints");
     }
 }

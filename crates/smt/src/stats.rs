@@ -35,6 +35,12 @@ pub struct SolverStats {
     /// afterwards, so this equals [`SolverStats::checks`] — the regression
     /// tests pin that invariant so per-probe rebuilds cannot creep back in.
     pub hull_rebuilds: u64,
+    /// `maximize` calls whose branch-and-bound incumbent was seeded from a
+    /// [`WarmStart`](crate::WarmStart) hint (warm-started maximizes).
+    pub warm_seeds: u64,
+    /// Warm-start hints that evaluated feasible under the current
+    /// formulation and therefore contributed a reusable incumbent cut.
+    pub warm_cut_hits: u64,
     /// Wall-clock time spent inside `check`.
     pub solve_time: Duration,
     /// Portion of [`SolverStats::solve_time`] spent filtering domains
@@ -66,6 +72,8 @@ impl SolverStats {
             cancellations: self.cancellations.saturating_sub(earlier.cancellations),
             bound_prunes: self.bound_prunes.saturating_sub(earlier.bound_prunes),
             hull_rebuilds: self.hull_rebuilds.saturating_sub(earlier.hull_rebuilds),
+            warm_seeds: self.warm_seeds.saturating_sub(earlier.warm_seeds),
+            warm_cut_hits: self.warm_cut_hits.saturating_sub(earlier.warm_cut_hits),
             solve_time: self.solve_time.saturating_sub(earlier.solve_time),
             propagation_time: self.propagation_time.saturating_sub(earlier.propagation_time),
             search_time: self.search_time.saturating_sub(earlier.search_time),
@@ -91,6 +99,8 @@ impl SolverStats {
         eatss_trace::counter_add("smt.cancellations", self.cancellations);
         eatss_trace::counter_add("smt.bound_prunes", self.bound_prunes);
         eatss_trace::counter_add("smt.hull_rebuilds", self.hull_rebuilds);
+        eatss_trace::counter_add("smt.warm_seeds", self.warm_seeds);
+        eatss_trace::counter_add("smt.warm_cut_hits", self.warm_cut_hits);
         eatss_trace::counter_add("smt.solve_time_us", self.solve_time.as_micros() as u64);
         eatss_trace::counter_add(
             "smt.propagation_time_us",
@@ -114,8 +124,8 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "checks={} nodes={} propagations={} pruned={} backtracks={} \
-             bound_prunes={} hull_rebuilds={} node_limit_hits={} \
-             deadline_hits={} cancellations={} time={:?} \
+             bound_prunes={} hull_rebuilds={} warm_seeds={} warm_cut_hits={} \
+             node_limit_hits={} deadline_hits={} cancellations={} time={:?} \
              propagation_time={:?} search_time={:?}",
             self.checks,
             self.nodes,
@@ -124,6 +134,8 @@ impl fmt::Display for SolverStats {
             self.backtracks,
             self.bound_prunes,
             self.hull_rebuilds,
+            self.warm_seeds,
+            self.warm_cut_hits,
             self.node_limit_hits,
             self.deadline_hits,
             self.cancellations,
@@ -167,6 +179,8 @@ mod tests {
             cancellations: 8,
             bound_prunes: 9,
             hull_rebuilds: 10,
+            warm_seeds: 11,
+            warm_cut_hits: 12,
             solve_time: Duration::from_secs(1),
             propagation_time: Duration::from_millis(600),
             search_time: Duration::from_millis(400),

@@ -9,6 +9,7 @@
 //! it proves equal here.
 
 use eatss_affine::interp::{self, compare_stores, Store};
+use eatss_affine::plan::set_simd_enabled;
 use eatss_affine::tiling::{TileConfig, TiledNest};
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
@@ -161,6 +162,75 @@ fn plan_engine_matches_reference_engine_on_adversarial_tiles() {
     }
 }
 
+/// Serializes `set_simd_enabled` flips across this binary's threads —
+/// the vector/scalar comparisons are only meaningful while the global
+/// flag holds still. (Every *other* test here is valid under either
+/// setting, so only these tests need the lock.)
+static SIMD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs both fast paths — the tiled plan interpreter and, where the
+/// configuration is mappable, the emulator's plan engine — with the
+/// chunked (SIMD-style) row loop forced on or off.
+fn run_fast_paths(
+    program: &Program,
+    sizes: &ProblemSizes,
+    tiles: &TileConfig,
+    simd: bool,
+) -> Vec<Store> {
+    set_simd_enabled(simd);
+    let mut out = Vec::new();
+    let mut store = seed_store(program, sizes, SEED).expect("store seeds");
+    for kernel in &program.kernels {
+        if let Ok(nest) = TiledNest::new(kernel, tiles) {
+            interp::run_kernel_tiled(&nest, sizes, &mut store).expect("tiled interp");
+        }
+    }
+    out.push(store);
+    let ppcg = Ppcg::new(GpuArch::ga100());
+    if let Ok(compiled) = ppcg.compile(program, tiles, sizes, &CompileOptions::default()) {
+        let mut store = seed_store(program, sizes, SEED).expect("store seeds");
+        let opts = ExecOptions {
+            engine: ExecEngine::Plan,
+            ..ExecOptions::default()
+        };
+        execute_compiled(program, &compiled.mappings, sizes, &mut store, &opts)
+            .expect("plan engine");
+        out.push(store);
+    }
+    set_simd_enabled(true);
+    out
+}
+
+/// The chunked row loop reproduces the scalar loop bitwise on both fast
+/// paths, across the pinned adversarial tiles plus tiles of 2 and 3 —
+/// shapes whose every row ends in a tail shorter than a lane (or *is*
+/// one).
+#[test]
+fn simd_rows_match_scalar_rows_on_adversarial_tiles() {
+    let _guard = SIMD_LOCK.lock().unwrap();
+    for bench in eatss_kernels::polybench() {
+        let program = bench.program().expect("registry parses");
+        let sizes = shrunk(&program, &bench.sizes(eatss_kernels::Dataset::Standard));
+        let trips = trips(&program, &sizes);
+        let depth = program.max_depth();
+        let mut configs = adversarial_tiles(depth, &trips, 2, SEED ^ 1);
+        configs.push(TileConfig::new(vec![2; depth]));
+        configs.push(TileConfig::new(vec![3; depth]));
+        for (c, tiles) in configs.iter().enumerate() {
+            let vector = run_fast_paths(&program, &sizes, tiles, true);
+            let scalar = run_fast_paths(&program, &sizes, tiles, false);
+            assert_eq!(vector.len(), scalar.len());
+            for (path, (v, s)) in vector.iter().zip(&scalar).enumerate() {
+                assert_bitwise(
+                    &format!("{} config {c} ({tiles}) path {path} simd-vs-scalar", bench.name),
+                    v,
+                    s,
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -212,6 +282,32 @@ proptest! {
             ).expect("reference engine");
             prop_assert_eq!(fast_stats, ref_stats);
             assert_bitwise(&format!("{} emulator ({tiles})", bench.name), &fast, &reference);
+        }
+    }
+
+    /// Random *small* tiles (1..=6) force rows that are pure tails,
+    /// exact chunks, and chunk-plus-tail mixes: the chunked row loop
+    /// stays bitwise identical to the scalar loop on both fast paths.
+    #[test]
+    fn simd_rows_match_scalar_rows_on_random_small_tiles(
+        kernel_idx in 0usize..17,
+        dims in proptest::collection::vec(1i64..=6, 10),
+    ) {
+        let _guard = SIMD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let benches = eatss_kernels::polybench();
+        let bench = &benches[kernel_idx % benches.len()];
+        let program = bench.program().expect("registry parses");
+        let sizes = shrunk(&program, &bench.sizes(eatss_kernels::Dataset::Standard));
+        let tiles = TileConfig::new(dims[..program.max_depth()].to_vec());
+        let vector = run_fast_paths(&program, &sizes, &tiles, true);
+        let scalar = run_fast_paths(&program, &sizes, &tiles, false);
+        prop_assert_eq!(vector.len(), scalar.len());
+        for (path, (v, s)) in vector.iter().zip(&scalar).enumerate() {
+            assert_bitwise(
+                &format!("{} ({tiles}) path {path} simd-vs-scalar", bench.name),
+                v,
+                s,
+            );
         }
     }
 }

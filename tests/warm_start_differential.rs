@@ -1,0 +1,87 @@
+//! Warm- vs cold-solve differential tests across the full PolyBench
+//! suite: a [`WarmStart`] floor may only remove provably-suboptimal
+//! search work, so warm solves must return the *same* verdicts, optima
+//! and tiles as cold solves on every formulation — including infeasible
+//! ones, and including hint sets polluted with models from foreign
+//! benchmarks.
+
+use eatss::{EatssConfig, EatssError, ModelGenerator};
+use eatss_gpusim::GpuArch;
+use eatss_kernels::{polybench, Dataset};
+use eatss_smt::WarmStart;
+
+/// A solve outcome reduced to what warm starting must preserve
+/// (`solver_calls` and the work counters legitimately differ).
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Solved {
+        tiles: Vec<i64>,
+        objective: i64,
+        optimal: bool,
+    },
+    Infeasible(String),
+}
+
+fn solve(
+    arch: &GpuArch,
+    program: &eatss_affine::Program,
+    sizes: &eatss_affine::ProblemSizes,
+    warm: Option<&mut WarmStart>,
+) -> Verdict {
+    let model = ModelGenerator::new(arch, EatssConfig::default())
+        .build(program, Some(sizes))
+        .expect("formulation builds");
+    let result = match warm {
+        Some(warm) => model.solve_warm(warm),
+        None => model.solve(),
+    };
+    match result {
+        Ok(s) => Verdict::Solved {
+            tiles: s.tiles.sizes().to_vec(),
+            objective: s.objective,
+            optimal: s.optimal,
+        },
+        Err(EatssError::Unsatisfiable { reason }) => Verdict::Infeasible(reason),
+        Err(e) => panic!("unexpected solve error: {e}"),
+    }
+}
+
+/// Every PolyBench formulation solves to the same verdict warm and cold:
+/// once seeded with its own optimum (the tightest possible floor), and
+/// once through a hint set accumulated across *all* benchmarks — foreign
+/// hints with matching `T{d}` names are either feasible (a valid cut) or
+/// skipped, never able to change the result.
+#[test]
+fn warm_solves_match_cold_across_polybench() {
+    let arch = GpuArch::ga100();
+    let suite = polybench();
+    assert_eq!(suite.len(), 17);
+
+    let mut shared = WarmStart::new();
+    let mut cold_verdicts = Vec::new();
+    for b in &suite {
+        let program = b.program().expect("benchmark parses");
+        let sizes = b.sizes(Dataset::ExtraLarge);
+        let cold = solve(&arch, &program, &sizes, None);
+
+        // Self-seeded: first warm call observes the optimum, second call
+        // starts with floor = optimum - 1 and must return it again.
+        let mut own = WarmStart::new();
+        let first = solve(&arch, &program, &sizes, Some(&mut own));
+        assert_eq!(first, cold, "{}: empty-hint warm differs from cold", b.name);
+        let seeded = solve(&arch, &program, &sizes, Some(&mut own));
+        assert_eq!(seeded, cold, "{}: self-seeded warm differs from cold", b.name);
+
+        // Feed the cross-benchmark hint pool for the second pass.
+        let _ = solve(&arch, &program, &sizes, Some(&mut shared));
+        cold_verdicts.push((b.name, program, sizes, cold));
+    }
+
+    // Second pass: every benchmark re-solved against hints from the whole
+    // suite (bounded to the most recent observations by WarmStart's ring).
+    for (name, program, sizes, cold) in &cold_verdicts {
+        let mut polluted = shared.clone();
+        let warm = solve(&arch, program, sizes, Some(&mut polluted));
+        assert_eq!(&warm, cold, "{name}: cross-benchmark hints changed the verdict");
+    }
+}
