@@ -4,9 +4,12 @@
 Drives the real `eatss-serve` binary end to end: a chaos mix of valid,
 infeasible, and malformed requests; SIGKILL with a request mid-flight;
 restart on the same cache directory; then asserts the warm-start hit
-rate is positive and the recovery counters are clean.
+rate is positive and the recovery counters are clean. Along the way it
+scrapes the `metrics` op (mid-load and after restart, asserting the
+stage histograms and self-monitoring gauges are live) and validates the
+`trace` op's Chrome export with `trace_check` when its path is given.
 
-Usage: serve_smoke.py /path/to/eatss-serve
+Usage: serve_smoke.py /path/to/eatss-serve [/path/to/trace_check]
 """
 
 import json
@@ -48,8 +51,54 @@ def request(sock, lines, payload):
     return json.loads(lines.readline())
 
 
+def scrape_metrics(sock, lines, phase):
+    """The `metrics` op must expose live stage histograms and gauges."""
+    reply = request(sock, lines, {"op": "metrics"})
+    assert reply["status"] == "ok", reply
+    metrics = reply["metrics"]
+    hist = metrics["histograms"]
+    for name in ("serve.request_us", "serve.solve_us"):
+        assert name in hist, (phase, sorted(hist))
+        h = hist[name]
+        assert h["count"] >= 1, (phase, name, h)
+        assert h["p50"] <= h["p99"] <= h["max"], (phase, name, h)
+    gauges = metrics["gauges"]
+    for name in ("journal.garbage_ratio", "serve.queue_depth", "serve.in_flight"):
+        assert name in gauges, (phase, sorted(gauges))
+    assert "serve_request_us_bucket" in reply["prometheus"], reply["prometheus"][:200]
+    print(
+        f"{phase}: metrics scrape ok — serve.solve_us count "
+        f"{hist['serve.solve_us']['count']}, garbage ratio "
+        f"{gauges['journal.garbage_ratio']}"
+    )
+
+
+def check_trace_op(sock, lines, trace_check, cache_dir):
+    """The `trace` op's export must be a valid Chrome trace."""
+    reply = request(sock, lines, {"op": "trace", "which": "slowest", "limit": 1})
+    assert reply["status"] == "ok", reply
+    assert len(reply["requests"]) == 1, reply["requests"]
+    assert reply["trace"]["traceEvents"], "empty trace export"
+    if not trace_check:
+        return
+    path = os.path.join(cache_dir, "slowest.trace.json")
+    with open(path, "w") as f:
+        json.dump(reply["trace"], f)
+    subprocess.run(
+        [
+            trace_check,
+            "--format", "chrome",
+            "--expect-histogram", "serve.request_us",
+            path,
+        ],
+        check=True,
+    )
+    print(f"trace op: slowest-request export passed {os.path.basename(trace_check)}")
+
+
 def main():
     binary = sys.argv[1]
+    trace_check = sys.argv[2] if len(sys.argv) > 2 else None
     cache_dir = tempfile.mkdtemp(prefix="eatss-serve-smoke-")
 
     # Phase 1: chaos mix, then SIGKILL with a request in flight.
@@ -67,6 +116,10 @@ def main():
     assert json.loads(lines.readline())["error"]["kind"] == "bad_json"
     assert request(sock, lines, {"kernel": "nope"})["error"]["kind"] == "unknown_kernel"
     assert request(sock, lines, {"op": "ping"})["status"] == "ok"
+    # Mid-load observability: histograms have samples, gauges are live,
+    # and the flight recorder can export its slowest request.
+    scrape_metrics(sock, lines, "phase 1")
+    check_trace_op(sock, lines, trace_check, cache_dir)
     # Fire a request and kill the daemon while it is (possibly) solving.
     sock.sendall((json.dumps({"kernel": "mvt", "n": 4000}) + "\n").encode())
     time.sleep(0.05)
@@ -86,10 +139,15 @@ def main():
         assert reply["status"] == status, reply
         assert reply["cache"] == "hit", reply
         assert reply.get("tiles") == tiles, reply
+    # A fresh key solves post-restart, so the restarted process's stage
+    # histograms are live too.
+    reply = request(sock, lines, {"kernel": "gesummv", "n": 1500})
+    assert reply["status"] in ("ok", "infeasible"), reply
+    scrape_metrics(sock, lines, "phase 2")
     stats = request(sock, lines, {"op": "stats"})
     hits = stats["cache"]["hits"]
     misses = stats["cache"]["misses"]
-    assert hits >= len(committed) and misses == 0, stats["cache"]
+    assert hits >= len(committed) and misses == 1, stats["cache"]
     assert request(sock, lines, {"op": "shutdown"})["status"] == "ok"
     assert proc.wait(timeout=30) == 0
     print(

@@ -336,6 +336,17 @@ impl Journal {
     pub fn bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.len).sum()
     }
+
+    /// Record bytes across all shards — [`Journal::bytes`] minus the
+    /// fixed per-shard headers. The denominator for garbage ratios.
+    pub fn data_bytes(&self) -> u64 {
+        self.bytes().saturating_sub(HEADER_BYTES * self.shards.len() as u64)
+    }
+
+    /// Per-shard file sizes (headers included), in shard-index order.
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.len).collect()
+    }
 }
 
 impl Shard {

@@ -16,12 +16,13 @@
 
 use crate::cache::{encode_key, fingerprint_key, TileCache, TileCacheStats};
 use crate::config::EatssConfig;
-use crate::journal::{Journal, JournalConfig, RecoveryStats};
+use crate::journal::{Journal, JournalConfig, RecoveryStats, RECORD_PREFIX_BYTES};
 use crate::model::{EatssError, EatssSolution, SolutionProvenance};
 use eatss_affine::tiling::TileConfig;
 use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
 use eatss_smt::SolverStats;
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::time::Duration;
@@ -208,6 +209,18 @@ pub struct PersistentTileCache {
     undecodable: u64,
     /// Entries appended to the journal over this cache's lifetime.
     persisted: u64,
+    /// On-disk record size of the *latest* record per key. Superseded
+    /// records, undecodable values and corrupt skipped bytes are the
+    /// complement: garbage.
+    live_sizes: HashMap<Vec<u8>, u64>,
+    /// Sum of `live_sizes` values (maintained incrementally).
+    live_bytes: u64,
+}
+
+/// On-disk footprint of one journal record: prefix + key-length field +
+/// key + value (see the record layout in [`crate::journal`]).
+fn record_size(key: &[u8], value: &[u8]) -> u64 {
+    RECORD_PREFIX_BYTES + 4 + key.len() as u64 + value.len() as u64
 }
 
 impl PersistentTileCache {
@@ -223,12 +236,17 @@ impl PersistentTileCache {
         let mut mem = TileCache::new(arch);
         let mut replayed = 0;
         let mut undecodable = 0;
+        let mut live_sizes: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut live_bytes = 0u64;
         for (key, value) in records {
             match decode_result(&value) {
                 // Later records supersede earlier ones for the same key
                 // (compaction leaves one; a crashed compaction may leave
                 // the append-order duplicates, which replay idempotently).
                 Some(result) => {
+                    let size = record_size(&key, &value);
+                    let old = live_sizes.insert(key.clone(), size);
+                    live_bytes = live_bytes + size - old.unwrap_or(0);
                     mem.replay_key(key, result);
                     replayed += 1;
                 }
@@ -241,6 +259,8 @@ impl PersistentTileCache {
             replayed,
             undecodable,
             persisted: 0,
+            live_sizes,
+            live_bytes,
         })
     }
 
@@ -253,7 +273,17 @@ impl PersistentTileCache {
             replayed: 0,
             undecodable: 0,
             persisted: 0,
+            live_sizes: HashMap::new(),
+            live_bytes: 0,
         }
+    }
+
+    /// Accounts a freshly appended record as the live one for its key,
+    /// demoting any previous record to garbage.
+    fn note_live(&mut self, key: &[u8], value: &[u8]) {
+        let size = record_size(key, value);
+        let old = self.live_sizes.insert(key.to_vec(), size);
+        self.live_bytes = self.live_bytes + size - old.unwrap_or(0);
     }
 
     /// Whether a journal backs this cache.
@@ -320,6 +350,7 @@ impl PersistentTileCache {
             if let Some(value) = encode_result(&result) {
                 journal.append(fingerprint_key(&key), &key, &value)?;
                 self.persisted += 1;
+                self.note_live(&key, &value);
             }
         }
         self.mem.insert_key(key, result);
@@ -352,6 +383,7 @@ impl PersistentTileCache {
             if let Some(value) = encode_result(&result) {
                 if journal.append(fingerprint_key(&key), &key, &value).is_ok() {
                     self.persisted += 1;
+                    self.note_live(&key, &value);
                 }
             }
         }
@@ -371,7 +403,19 @@ impl PersistentTileCache {
         };
         journal.compact(self.mem.encoded_entries().filter_map(|(key, result)| {
             encode_result(result).map(|value| (fingerprint_key(key), key, value))
-        }))
+        }))?;
+        // The journal now holds exactly one record per live key: rebuild
+        // the accounting from scratch so the garbage ratio returns to 0.
+        self.live_sizes.clear();
+        self.live_bytes = 0;
+        for (key, result) in self.mem.encoded_entries() {
+            if let Some(value) = encode_result(result) {
+                let size = record_size(key, &value);
+                self.live_sizes.insert(key.to_vec(), size);
+                self.live_bytes += size;
+            }
+        }
+        Ok(())
     }
 
     /// Flushes OS buffers (meaningful under
@@ -390,6 +434,37 @@ impl PersistentTileCache {
     /// Total journal bytes on disk (0 for ephemeral).
     pub fn journal_bytes(&self) -> u64 {
         self.journal.as_ref().map_or(0, Journal::bytes)
+    }
+
+    /// Bytes of the journal occupied by the latest record of each live
+    /// key (0 for ephemeral).
+    pub fn live_bytes(&self) -> u64 {
+        if self.journal.is_some() {
+            self.live_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Fraction of journal record bytes that a [`compact`]
+    /// (PersistentTileCache::compact) would reclaim: superseded records,
+    /// undecodable values and checksum-skipped regions. 0 for an
+    /// ephemeral or empty journal.
+    pub fn garbage_ratio(&self) -> f64 {
+        let Some(journal) = &self.journal else {
+            return 0.0;
+        };
+        let data = journal.data_bytes();
+        if data == 0 {
+            return 0.0;
+        }
+        1.0 - self.live_bytes.min(data) as f64 / data as f64
+    }
+
+    /// Per-shard journal file sizes, headers included (empty for
+    /// ephemeral).
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        self.journal.as_ref().map(Journal::shard_bytes).unwrap_or_default()
     }
 }
 
@@ -554,6 +629,40 @@ mod tests {
     }
 
     #[test]
+    fn garbage_ratio_tracks_superseded_records_and_compaction() {
+        let dir = temp_dir("garbage");
+        let cfg = EatssConfig::default();
+        let mut cache =
+            PersistentTileCache::open(&dir, GpuArch::ga100(), JournalConfig::default()).unwrap();
+        assert_eq!(cache.garbage_ratio(), 0.0);
+        let s = cache.select(&mm(), &sizes(2000), &cfg).unwrap();
+        // One live record, zero garbage; accounting matches the disk.
+        assert_eq!(cache.garbage_ratio(), 0.0);
+        assert!(cache.live_bytes() > 0);
+        assert_eq!(cache.shard_bytes().len(), JournalConfig::default().shards as usize);
+
+        // Re-journaling the same key supersedes the first record: the
+        // two equal-size records make the ratio exactly 1/2.
+        let key = encode_key(&GpuArch::ga100(), &mm(), &sizes(2000), &cfg);
+        cache.insert_key(key, Ok(s)).unwrap();
+        assert!((cache.garbage_ratio() - 0.5).abs() < 1e-9, "{}", cache.garbage_ratio());
+
+        // Reopen sees the same ratio (replay keeps only the latest).
+        drop(cache);
+        let mut cache =
+            PersistentTileCache::open(&dir, GpuArch::ga100(), JournalConfig::default()).unwrap();
+        assert_eq!(cache.replayed(), 2);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.garbage_ratio() - 0.5).abs() < 1e-9);
+
+        // Compaction reclaims the superseded record.
+        cache.compact().unwrap();
+        assert_eq!(cache.garbage_ratio(), 0.0);
+        assert!(cache.live_bytes() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn ephemeral_cache_works_without_a_directory() {
         let mut cache = PersistentTileCache::ephemeral(GpuArch::ga100());
         assert!(!cache.is_durable());
@@ -563,6 +672,9 @@ mod tests {
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.persisted(), 0);
         assert_eq!(cache.journal_bytes(), 0);
+        assert_eq!(cache.live_bytes(), 0);
+        assert_eq!(cache.garbage_ratio(), 0.0);
+        assert!(cache.shard_bytes().is_empty());
         cache.flush().unwrap();
         cache.compact().unwrap();
     }

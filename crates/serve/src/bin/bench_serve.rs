@@ -12,7 +12,12 @@
 //!   proved infeasibility) is a warm cache hit after restart, with
 //!   bitwise-identical tiles;
 //! * **well-formed shedding** — every `overloaded` response carries a
-//!   retry-after hint.
+//!   retry-after hint;
+//! * **coalescing observed** — a barrier-synchronised burst of identical
+//!   requests joins one in-flight solve (`cache: "coalesced"`);
+//! * **histogram agreement** — the server's own `serve.request_us`
+//!   latency histogram (scraped via the `metrics` op) matches the
+//!   client-sampled percentiles within one log-2 bucket width.
 //!
 //! Writes `BENCH_serve.json` and exits non-zero if any assertion fails.
 
@@ -26,6 +31,7 @@ use std::fs;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Deterministic xorshift64* — the chaos schedule must replay from the
@@ -166,6 +172,7 @@ fn main() -> ExitCode {
     let load_started = Instant::now();
     let mut report = run_load(&addr, &plan, seed);
     report.overloaded += run_burst(&addr, &plan, seed ^ 0x9e37_79b9);
+    let (coalesce_clients, coalesced_responses) = run_coalesce(&addr);
     let load_wall_s = load_started.elapsed().as_secs_f64();
 
     // The daemon must still be alive after everything phase 1 threw at
@@ -219,8 +226,21 @@ fn main() -> ExitCode {
         recovery.corrupt_records_skipped > 0 || recovery.torn_tails_truncated > 0;
     handle.shutdown();
 
+    // ── Phase 3: server-side histograms vs client-side samples ────────
+    // Reset the metrics registry so the scraped histogram covers exactly
+    // this phase's requests, then drive fresh solves and compare the
+    // server's own `serve.request_us` quantiles against what the client
+    // measured. The estimator returns bucket upper bounds, so the client
+    // sample must land within one log-2 bucket width of the estimate.
+    eatss_trace::start_collecting();
+    let handle = start(server_config(&cache_dir)).expect("restart for histogram agreement");
+    let addr4 = handle.tcp_addr().expect("tcp endpoint").to_string();
+    let agreement = run_agreement(&addr4, &plan);
+    handle.shutdown();
+
     let zero_crash = zero_crash_after_load && alive_after_corruption;
     let shed_well_formed = report.bad_overloaded == 0;
+    let coalescing_observed = coalesced_responses > 0 && server_stats.coalesced > 0;
 
     // ── Report ─────────────────────────────────────────────────────────
     report.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -270,6 +290,19 @@ fn main() -> ExitCode {
     "infeasible": {c_infeasible},
     "hit_rate": {hit_rate:.4}
   }},
+  "coalesce": {{
+    "burst_clients": {coalesce_clients},
+    "coalesced_responses": {coalesced_responses},
+    "server_coalesced": {srv_coalesced}
+  }},
+  "histogram_agreement": {{
+    "samples": {agr_samples},
+    "client_p50_us": {agr_client_p50:.1},
+    "server_p50_us": {agr_server_p50},
+    "client_p99_us": {agr_client_p99:.1},
+    "server_p99_us": {agr_server_p99},
+    "within_one_bucket": {agr_ok}
+  }},
   "restart": {{
     "replayed": {replayed},
     "committed_unique": {committed_n},
@@ -286,7 +319,9 @@ fn main() -> ExitCode {
     "zero_crash": {zero_crash},
     "zero_lost_entries": {zero_lost_entries},
     "shed_well_formed": {shed_well_formed},
-    "corruption_detected": {recovered_detected}
+    "corruption_detected": {recovered_detected},
+    "coalescing_observed": {coalescing_observed},
+    "histograms_agree": {agr_ok}
   }}
 }}
 "#,
@@ -318,6 +353,12 @@ fn main() -> ExitCode {
         rec_skipped = recovery.corrupt_records_skipped,
         rec_torn = recovery.torn_tails_truncated,
         rec_ok = recovery.records_recovered,
+        agr_samples = agreement.samples,
+        agr_client_p50 = agreement.client_p50_us,
+        agr_server_p50 = agreement.server_p50_us,
+        agr_client_p99 = agreement.client_p99_us,
+        agr_server_p99 = agreement.server_p99_us,
+        agr_ok = agreement.within_one_bucket,
     );
     if let Err(e) = fs::write(&out, &json) {
         eprintln!("error: cannot write {}: {e}", out.display());
@@ -332,10 +373,16 @@ fn main() -> ExitCode {
             eprintln!("  {l}");
         }
     }
-    let pass = zero_crash && zero_lost_entries && shed_well_formed && recovered_detected;
+    let pass = zero_crash
+        && zero_lost_entries
+        && shed_well_formed
+        && recovered_detected
+        && coalescing_observed
+        && agreement.within_one_bucket;
     if !pass {
         eprintln!(
-            "bench_serve: ASSERTION FAILED (zero_crash={zero_crash} zero_lost_entries={zero_lost_entries} shed_well_formed={shed_well_formed} corruption_detected={recovered_detected})"
+            "bench_serve: ASSERTION FAILED (zero_crash={zero_crash} zero_lost_entries={zero_lost_entries} shed_well_formed={shed_well_formed} corruption_detected={recovered_detected} coalescing_observed={coalescing_observed} histograms_agree={})",
+            agreement.within_one_bucket
         );
         return ExitCode::FAILURE;
     }
@@ -559,6 +606,106 @@ fn run_burst(addr: &str, plan: &Plan, seed: u64) -> u64 {
     assert_eq!(malformed, 0, "every overloaded response must be well-formed");
     eprintln!("bench_serve: burst shed {shed}/{} requests", plan.burst);
     shed
+}
+
+/// Barrier-synchronised burst of identical requests: one solves, the
+/// rest must join it in flight and answer `cache: "coalesced"`. The
+/// `sleep` chaos directive keeps the solve in flight long enough for
+/// every waiter to arrive, and is part of the coalesce key, so all
+/// eight requests are structurally identical.
+fn run_coalesce(addr: &str) -> (u64, u64) {
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).ok()?;
+            let mut args = SelectArgs::kernel("gemm");
+            args.n = Some(4321); // fresh key: never requested by the load phase
+            args.chaos = Some("sleep:250".to_string());
+            barrier.wait();
+            let reply = client.select(&args).ok()?;
+            Some(reply.get("cache").and_then(Json::as_str) == Some("coalesced"))
+        }));
+    }
+    let coalesced = handles
+        .into_iter()
+        .filter_map(|h| h.join().ok().flatten())
+        .filter(|&c| c)
+        .count() as u64;
+    eprintln!("bench_serve: coalesce burst — {coalesced}/{CLIENTS} responses joined in flight");
+    (CLIENTS as u64, coalesced)
+}
+
+/// What phase 3 measured: client-sampled request percentiles next to the
+/// server's own histogram estimates, scraped via the `metrics` op.
+struct Agreement {
+    samples: usize,
+    client_p50_us: f64,
+    server_p50_us: u64,
+    client_p99_us: f64,
+    server_p99_us: u64,
+    within_one_bucket: bool,
+}
+
+/// Drives fresh solves sequentially, then scrapes `serve.request_us`
+/// from the `metrics` op and checks the server's log-2 quantile
+/// estimates against the client's sampled percentiles. The estimator
+/// answers bucket upper bounds (for a true value `v >= 1` the estimate
+/// `e` satisfies `v <= e < 2v`), so the client sample — the same latency
+/// plus loopback overhead — must land within one bucket width:
+/// `e/2 <= client <= 2e`.
+fn run_agreement(addr: &str, plan: &Plan) -> Agreement {
+    let samples = if plan.mode == "smoke" { 12 } else { 48 };
+    let mut client = Client::connect_tcp(addr).expect("connect for agreement");
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let mut args = SelectArgs::kernel(KERNELS[i % KERNELS.len()]);
+        args.n = Some(5000 + 7 * i as i64); // fresh keys: every request solves
+        let started = Instant::now();
+        let reply = client.select(&args).expect("agreement select");
+        let status = reply.get("status").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            status == "ok" || status == "infeasible",
+            "agreement request answered {status}"
+        );
+        latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Same rank the histogram estimator targets: ceil(q * n), 1-based.
+    let pct = |q: f64| -> f64 {
+        let rank = ((q * latencies_us.len() as f64).ceil() as usize).max(1);
+        latencies_us[rank - 1]
+    };
+    let reply = client.metrics().expect("metrics scrape");
+    let hist = reply
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get("serve.request_us"))
+        .expect("serve.request_us histogram in metrics op");
+    let server_count = hist.get("count").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+    assert_eq!(server_count, samples, "histogram saw every request");
+    let server_p50 = hist.get("p50").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let server_p99 = hist.get("p99").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let client_p50 = pct(0.50);
+    let client_p99 = pct(0.99);
+    let within = |client: f64, server: u64| -> bool {
+        server > 0 && client >= server as f64 / 2.0 && client <= 2.0 * server as f64
+    };
+    let within_one_bucket = within(client_p50, server_p50) && within(client_p99, server_p99);
+    eprintln!(
+        "bench_serve: agreement — client p50 {client_p50:.0} us vs server {server_p50} us,          client p99 {client_p99:.0} us vs server {server_p99} us, within_one_bucket={within_one_bucket}"
+    );
+    Agreement {
+        samples,
+        client_p50_us: client_p50,
+        server_p50_us: server_p50,
+        client_p99_us: client_p99,
+        server_p99_us: server_p99,
+        within_one_bucket,
+    }
 }
 
 /// Committed entries are replayed without chaos/deadline/evaluate — the

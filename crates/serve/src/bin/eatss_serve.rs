@@ -29,6 +29,11 @@ OPTIONS:
   --arch NAME            default architecture: ga100 | xavier (default ga100)
   --shards N             journal shard count (default 8)
   --no-sync              journal without per-append fsync (faster, test-only)
+  --access-log PATH      append one JSON line per request to PATH
+  --flight N             flight-recorder ring capacity per ring (default 64)
+  --compact-garbage-ratio F
+                         auto-compact the journal once its garbage ratio
+                         exceeds F in (0,1); 'off' disables (default 0.5)
   --chaos                honour test-only `chaos` request fields
   --fault-seed N         inject measurement faults (gpusim FaultPlan seed)
   --fault-rates L,I,N    fault rates: launch-failure, invalid, nan (default 0.01,0.01,0.01)
@@ -88,6 +93,25 @@ fn main() -> ExitCode {
                 config.journal.shards = parse_num(&next_value(&mut args, "--shards")) as u32
             }
             "--no-sync" => config.journal.sync = SyncPolicy::Never,
+            "--access-log" => {
+                config.access_log = Some(PathBuf::from(next_value(&mut args, "--access-log")))
+            }
+            "--flight" => config.flight_requests = parse_num(&next_value(&mut args, "--flight")),
+            "--compact-garbage-ratio" => {
+                let spec = next_value(&mut args, "--compact-garbage-ratio");
+                config.compact_garbage_ratio = match spec.as_str() {
+                    "off" => None,
+                    other => match other.parse::<f64>() {
+                        Ok(f) if f > 0.0 && f < 1.0 => Some(f),
+                        _ => {
+                            eprintln!(
+                                "error: --compact-garbage-ratio wants a ratio in (0,1) or 'off'"
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
+                };
+            }
             "--chaos" => config.allow_chaos = true,
             "--fault-seed" => {
                 fault_seed = Some(parse_num(&next_value(&mut args, "--fault-seed")) as u64)

@@ -68,6 +68,7 @@ impl Client {
     /// Connection or socket-option failures.
     pub fn connect_tcp_timeout(addr: &str, timeout: Duration) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         Ok(Client {
@@ -99,9 +100,13 @@ impl Client {
     /// Transport failures ([`ProtocolError::Io`]/`Timeout`/
     /// `ConnectionClosed`) or an unparseable response.
     pub fn request_line(&mut self, line: &str) -> Result<Json, ProtocolError> {
+        // Frame in one write: a trailing 1-byte newline write would sit
+        // in Nagle's buffer until the server ACKs the first packet.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
         self.stream
-            .write_all(line.as_bytes())
-            .and_then(|()| self.stream.write_all(b"\n"))
+            .write_all(framed.as_bytes())
             .and_then(|()| self.stream.flush())
             .map_err(io_to_protocol)?;
         self.read_response()
@@ -156,6 +161,32 @@ impl Client {
     /// Same as [`Client::request_line`].
     pub fn ping(&mut self) -> Result<Json, ProtocolError> {
         self.request_line(r#"{"op": "ping"}"#)
+    }
+
+    /// Convenience: the `metrics` op (full registry as JSON +
+    /// Prometheus text).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request_line`].
+    pub fn metrics(&mut self) -> Result<Json, ProtocolError> {
+        self.request_line(r#"{"op": "metrics"}"#)
+    }
+
+    /// Convenience: the `trace` op — exports flight-recorder records
+    /// (`which` ∈ recent/slowest/errors) as a Chrome trace document
+    /// under the response's `trace` key.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request_line`].
+    pub fn trace_export(&mut self, which: &str, limit: usize) -> Result<Json, ProtocolError> {
+        let line = object_line(&[
+            ("op", str_field("trace")),
+            ("which", str_field(which)),
+            ("limit", limit.to_string()),
+        ]);
+        self.request_line(&line)
     }
 
     /// Convenience: the in-band `shutdown` op.

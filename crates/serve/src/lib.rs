@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod flight;
 pub mod protocol;
 pub mod server;
 
 pub use client::Client;
+pub use flight::{FlightRecorder, RequestRecord, TraceWhich};
 pub use protocol::{
-    parse_request, FrameReader, Op, ProtocolError, Request, SelectRequest, SizeSpec,
+    parse_request, FrameReader, Op, ProtocolError, Request, SelectRequest, SizeSpec, TraceQuery,
     PROTOCOL_VERSION,
 };
 pub use server::{start, Endpoint, ServerAddr, ServerConfig, ServerHandle, ServerStats};

@@ -11,6 +11,7 @@
 //! (oversized frames, timeouts, EOF) into a best-effort error response
 //! followed by a close. Nothing a client sends can panic the daemon.
 
+use crate::flight::TraceWhich;
 use eatss::{EatssConfig, Precision, ThreadBlockCap};
 use eatss_trace::json::{escape, Json};
 use std::fmt;
@@ -122,11 +123,29 @@ pub enum Op {
     Ping,
     /// Server + cache counters.
     Stats,
+    /// Full metrics registry (counters, gauges, histograms) as JSON and
+    /// Prometheus-style text.
+    Metrics,
+    /// Flight-recorder export: Chrome `trace_events` for recorded
+    /// requests.
+    Trace,
     /// Compact the cache journal.
     Compact,
     /// Graceful shutdown (drain, flush, exit).
     Shutdown,
 }
+
+/// Payload of an [`Op::Trace`] request: which ring, how many records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceQuery {
+    /// Which flight-recorder ring to export.
+    pub which: TraceWhich,
+    /// How many records (server caps at [`TRACE_LIMIT_CAP`]).
+    pub limit: usize,
+}
+
+/// Upper bound on `limit` in a `trace` request.
+pub const TRACE_LIMIT_CAP: usize = 32;
 
 /// How the request binds problem sizes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -200,6 +219,8 @@ pub struct Request {
     pub op: Op,
     /// Payload for [`Op::Select`].
     pub select: Option<SelectRequest>,
+    /// Payload for [`Op::Trace`].
+    pub trace: Option<TraceQuery>,
 }
 
 /// Parses one request line.
@@ -228,6 +249,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "select" => Op::Select,
         "ping" => Op::Ping,
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
+        "trace" => Op::Trace,
         "compact" => Op::Compact,
         "shutdown" => Op::Shutdown,
         other => return Err(ProtocolError::UnknownOp(other.to_string())),
@@ -238,8 +261,39 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     } else {
         None
     };
+    let trace = if op == Op::Trace {
+        Some(parse_trace(&value)?)
+    } else {
+        None
+    };
 
-    Ok(Request { id, op, select })
+    Ok(Request {
+        id,
+        op,
+        select,
+        trace,
+    })
+}
+
+fn parse_trace(value: &Json) -> Result<TraceQuery, ProtocolError> {
+    let which = match opt_str(value, "which")?.as_deref() {
+        None => TraceWhich::Slowest,
+        Some(name) => TraceWhich::parse(name).ok_or(ProtocolError::BadField {
+            field: "which",
+            expected: "\"recent\", \"slowest\" or \"errors\"",
+        })?,
+    };
+    let limit = match opt_f64(value, "limit")? {
+        None => 1,
+        Some(n) if n.fract() == 0.0 && (1.0..=TRACE_LIMIT_CAP as f64).contains(&n) => n as usize,
+        Some(_) => {
+            return Err(ProtocolError::BadField {
+                field: "limit",
+                expected: "integer in [1, 32]",
+            })
+        }
+    };
+    Ok(TraceQuery { which, limit })
 }
 
 fn parse_select(value: &Json) -> Result<SelectRequest, ProtocolError> {
@@ -513,6 +567,37 @@ mod tests {
         };
         assert!(pairs.contains(&("M".into(), 100)));
         assert!(pairs.contains(&("N".into(), 200)));
+    }
+
+    #[test]
+    fn parses_metrics_and_trace_ops() {
+        let r = parse_request(r#"{"op": "metrics"}"#).unwrap();
+        assert_eq!(r.op, Op::Metrics);
+        assert!(r.select.is_none() && r.trace.is_none());
+
+        let r = parse_request(r#"{"op": "trace"}"#).unwrap();
+        assert_eq!(r.op, Op::Trace);
+        let q = r.trace.unwrap();
+        assert_eq!(q.which, TraceWhich::Slowest);
+        assert_eq!(q.limit, 1);
+
+        let r = parse_request(r#"{"op": "trace", "which": "recent", "limit": 8}"#).unwrap();
+        let q = r.trace.unwrap();
+        assert_eq!(q.which, TraceWhich::Recent);
+        assert_eq!(q.limit, 8);
+
+        assert!(matches!(
+            parse_request(r#"{"op": "trace", "which": "fastest"}"#),
+            Err(ProtocolError::BadField { field: "which", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "trace", "limit": 0}"#),
+            Err(ProtocolError::BadField { field: "limit", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "trace", "limit": 1000}"#),
+            Err(ProtocolError::BadField { field: "limit", .. })
+        ));
     }
 
     #[test]

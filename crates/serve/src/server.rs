@@ -27,9 +27,10 @@
 //!    response is sent: an `ok` answer implies the entry survives
 //!    `kill -9`.
 
+use crate::flight::{FlightRecorder, RequestRecord};
 use crate::protocol::{
     object_line, parse_request, str_field, FrameReader, Op, ProtocolError, SelectRequest,
-    SizeSpec, PROTOCOL_VERSION,
+    SizeSpec, TraceQuery, PROTOCOL_VERSION,
 };
 use crate::ServeError;
 use eatss::cache::encode_key;
@@ -44,18 +45,19 @@ use eatss_kernels::Dataset;
 use eatss_ppcg::oracle::verify_sizes;
 use eatss_smt::{CancelToken, SolverConfig, WarmStart};
 use eatss_trace::json::number;
-use eatss_trace::{instant, lane_scope, span};
+use eatss_trace::{instant, lane_scope, span, Event, Histogram, Provenance, Trace};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::fs::{File, OpenOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Where the daemon listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +104,14 @@ pub struct ServerConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Architecture used when a request names none.
     pub default_arch: GpuArch,
+    /// Flight-recorder ring capacity (recent / slowest / errors each).
+    pub flight_requests: usize,
+    /// Structured JSON-lines access log path (`None` disables).
+    pub access_log: Option<PathBuf>,
+    /// Auto-compact the journal when its garbage ratio exceeds this
+    /// threshold (checked after each journal append and at startup).
+    /// `None` disables auto-compaction.
+    pub compact_garbage_ratio: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +131,9 @@ impl Default for ServerConfig {
             allow_chaos: false,
             fault_plan: None,
             default_arch: GpuArch::ga100(),
+            flight_requests: 64,
+            access_log: None,
+            compact_garbage_ratio: Some(0.5),
         }
     }
 }
@@ -207,6 +220,8 @@ struct Job {
     verify: bool,
     chaos: Option<String>,
     lane: u64,
+    /// When admission enqueued the job (queue-wait measurement).
+    admitted_at: Instant,
 }
 
 /// What a worker hands back to every waiter of a job. Short-lived (one
@@ -220,6 +235,10 @@ enum Outcome {
         verify: Option<Result<VerifySummary, String>>,
         fell_back: bool,
         served_from_cache: bool,
+        /// Queue wait measured at worker pop (0 on the fast path).
+        queue_us: u64,
+        /// Worker time for the job (0 on the fast path).
+        solve_us: u64,
     },
     Panicked(String),
 }
@@ -236,7 +255,6 @@ struct Dispatch {
     /// Waiters per coalesce key, present from admission until broadcast.
     in_flight: HashMap<Vec<u8>, Vec<mpsc::Sender<Outcome>>>,
     active: usize,
-    lane_seq: u64,
 }
 
 enum Admission {
@@ -264,7 +282,43 @@ struct Shared {
     /// next solve's incumbent. Bounded LRU; purely an accelerator —
     /// complete solves return identical results with or without hints.
     warm: Mutex<Vec<(u64, WarmStart)>>,
+    /// Bounded per-request span-tree rings (`trace` op).
+    flight: Mutex<FlightRecorder>,
+    /// Line-buffered JSON-lines access log (one `write_all` per line).
+    access_log: Option<Mutex<File>>,
+    /// Cached histogram handles — registry lookup paid once at startup,
+    /// `record` stays one atomic add on the hot path.
+    hist: ServeHistograms,
+    /// Provenance captured once at startup (`Provenance::collect` shells
+    /// out to git; not a per-request cost).
+    provenance: Provenance,
 }
+
+/// `&'static` handles into the trace crate's histogram registry.
+struct ServeHistograms {
+    request_us: &'static Histogram,
+    queue_us: &'static Histogram,
+    solve_us: &'static Histogram,
+    journal_append_us: &'static Histogram,
+}
+
+impl ServeHistograms {
+    fn new() -> Self {
+        ServeHistograms {
+            request_us: eatss_trace::histogram("serve.request_us"),
+            queue_us: eatss_trace::histogram("serve.queue_us"),
+            solve_us: eatss_trace::histogram("serve.solve_us"),
+            journal_append_us: eatss_trace::histogram("serve.journal_append_us"),
+        }
+    }
+}
+
+/// Lanes with a request currently in flight, across every in-process
+/// server (collection is process-global, so lane bookkeeping must be
+/// too: a harvest by one server must not drop another server's
+/// still-accumulating events). Held across the harvest so a lane
+/// registered mid-harvest cannot be missed.
+static ACTIVE_LANES: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
 
 /// Entries kept in [`Shared::warm`].
 const WARM_POOL_CAP: usize = 32;
@@ -300,10 +354,22 @@ impl Shared {
         Admission::Admitted(rx)
     }
 
-    fn next_lane(&self) -> u64 {
-        let mut d = self.dispatch.lock().unwrap();
-        d.lane_seq += 1;
-        d.lane_seq
+    /// Appends one line to the access log (best-effort; a full line per
+    /// `write_all` keeps partial lines out of the file on crash).
+    fn log_access(&self, fields: Vec<(&str, String)>) {
+        let Some(log) = &self.access_log else {
+            return;
+        };
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut all = vec![("ts_ms", ts_ms.to_string())];
+        all.extend(fields);
+        let mut line = object_line(&all);
+        line.push('\n');
+        let mut file = log.lock().unwrap();
+        let _ = file.write_all(line.as_bytes());
     }
 }
 
@@ -399,7 +465,12 @@ impl Listener {
     fn accept(&self) -> io::Result<Option<Stream>> {
         match self {
             Listener::Tcp(l) => match l.accept() {
-                Ok((s, _)) => Ok(Some(Stream::Tcp(s))),
+                Ok((s, _)) => {
+                    // Responses are single small writes; Nagle would
+                    // hold them behind delayed ACKs (~40 ms each way).
+                    let _ = s.set_nodelay(true);
+                    Ok(Some(Stream::Tcp(s)))
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
                 Err(e) => Err(e),
             },
@@ -533,12 +604,27 @@ impl ServerHandle {
 ///
 /// Binding, journal-open, or socket-configuration failures.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
-    let cache = match &config.cache_dir {
+    // The daemon self-monitors through the process-global trace
+    // registry. Joining an already-active session (another in-process
+    // server, or a harness that called start_collecting itself) must not
+    // wipe it, so collection is only started when off.
+    if !eatss_trace::collecting() {
+        eatss_trace::start_collecting();
+    }
+
+    let mut cache = match &config.cache_dir {
         Some(dir) => {
             PersistentTileCache::open(dir, config.default_arch.clone(), config.journal.clone())?
         }
         None => PersistentTileCache::ephemeral(config.default_arch.clone()),
     };
+    // A journal can be reopened already past the garbage threshold
+    // (superseded records, corrupt tails): reclaim before serving.
+    if let Some(threshold) = config.compact_garbage_ratio {
+        if cache.garbage_ratio() > threshold && cache.compact().is_ok() {
+            eatss_trace::counter_add("journal.auto_compactions", 1);
+        }
+    }
 
     let (listener, addr) = match &config.endpoint {
         Endpoint::Tcp(spec) => {
@@ -556,7 +642,15 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         }
     };
 
+    let access_log = match &config.access_log {
+        Some(path) => Some(Mutex::new(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        )),
+        None => None,
+    };
+
     let workers = config.workers.max(1);
+    let flight = FlightRecorder::new(config.flight_requests);
     let shared = Arc::new(Shared {
         config,
         cache: Mutex::new(cache),
@@ -564,7 +658,6 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             queue: VecDeque::new(),
             in_flight: HashMap::new(),
             active: 0,
-            lane_seq: 0,
         }),
         work_cv: Condvar::new(),
         idle_cv: Condvar::new(),
@@ -575,6 +668,10 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         counters: Counters::default(),
         conns: Mutex::new(Vec::new()),
         warm: Mutex::new(Vec::new()),
+        flight: Mutex::new(flight),
+        access_log,
+        hist: ServeHistograms::new(),
+        provenance: Provenance::collect(None),
     });
 
     let mut threads = Vec::with_capacity(workers + 1);
@@ -703,26 +800,54 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut Stream, line: &str) -> bool {
                 stream,
                 &with_id(&id, vec![("status", str_field("ok")), ("pong", "true".into())]),
             );
+            log_op(shared, "ping", &id, "ok");
             true
         }
         Op::Stats => {
+            refresh_gauges(shared);
             let _ = write_line(stream, &stats_response(shared, &id));
+            log_op(shared, "stats", &id, "ok");
+            true
+        }
+        Op::Metrics => {
+            refresh_gauges(shared);
+            let snap = eatss_trace::metrics_snapshot();
+            let _ = write_line(
+                stream,
+                &with_id(
+                    &id,
+                    vec![
+                        ("status", str_field("ok")),
+                        ("metrics", snap.to_json()),
+                        ("prometheus", str_field(&snap.to_prometheus())),
+                    ],
+                ),
+            );
+            log_op(shared, "metrics", &id, "ok");
+            true
+        }
+        Op::Trace => {
+            let query = request.trace.expect("trace op carries a query");
+            let _ = write_line(stream, &trace_response(shared, &id, query));
+            log_op(shared, "trace", &id, "ok");
             true
         }
         Op::Compact => {
             let outcome = shared.cache.lock().unwrap().compact();
-            let line = match outcome {
-                Ok(()) => with_id(&id, vec![("status", str_field("ok"))]),
+            let (line, label) = match outcome {
+                Ok(()) => (with_id(&id, vec![("status", str_field("ok"))]), "ok"),
                 Err(e) => {
                     shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    error_fields(&id, "io", &e.to_string())
+                    (error_fields(&id, "io", &e.to_string()), "error")
                 }
             };
             let _ = write_line(stream, &line);
+            log_op(shared, "compact", &id, label);
             true
         }
         Op::Shutdown => {
             let _ = write_line(stream, &with_id(&id, vec![("status", str_field("ok"))]));
+            log_op(shared, "shutdown", &id, "ok");
             *shared.shutdown_signal.lock().unwrap() = true;
             shared.shutdown_cv.notify_all();
             true
@@ -734,6 +859,131 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut Stream, line: &str) -> bool {
     }
 }
 
+/// Access-log line for a management op (select requests log richer
+/// fields from [`handle_select`]).
+fn log_op(shared: &Arc<Shared>, op: &str, id: &Option<String>, outcome: &str) {
+    let mut fields = vec![("op", str_field(op))];
+    if let Some(id) = id {
+        fields.push(("id", str_field(id)));
+    }
+    fields.push(("outcome", str_field(outcome)));
+    shared.log_access(fields);
+}
+
+/// Answers a `trace` op: the selected flight records merged into one
+/// Chrome trace document (embedded raw — `to_chrome_json_compact` emits
+/// no newlines, so the response stays one line).
+fn trace_response(shared: &Arc<Shared>, id: &Option<String>, query: TraceQuery) -> String {
+    refresh_gauges(shared);
+    let records = shared.flight.lock().unwrap().select(query.which, query.limit);
+    if records.is_empty() {
+        return error_fields(id, "empty_flight", "no requests recorded yet");
+    }
+    let mut requests = Vec::with_capacity(records.len());
+    let mut events: Vec<Event> = Vec::new();
+    for r in &records {
+        let mut fields = vec![
+            ("kernel", str_field(&r.kernel)),
+            ("lane", r.lane.to_string()),
+            ("outcome", str_field(&r.outcome)),
+            ("cache", str_field(&r.cache)),
+            ("dur_us", r.dur_us.to_string()),
+        ];
+        if let Some(rid) = &r.id {
+            fields.insert(0, ("id", str_field(rid)));
+        }
+        requests.push(object_line(&fields));
+        events.extend(r.events.iter().cloned());
+    }
+    events.sort_by_key(|e| (e.lane, e.seq));
+    let trace = Trace {
+        provenance: shared.provenance.clone(),
+        events,
+        metrics: eatss_trace::metrics_snapshot(),
+    };
+    with_id(
+        id,
+        vec![
+            ("status", str_field("ok")),
+            ("requests", format!("[{}]", requests.join(","))),
+            ("trace", trace.to_chrome_json_compact()),
+        ],
+    )
+}
+
+/// Publishes the self-monitoring gauges. Called from the introspection
+/// ops (stats/metrics/trace), not per request — gauge freshness tracks
+/// observation, and the request hot path stays gauge-free.
+fn refresh_gauges(shared: &Arc<Shared>) {
+    let (depth, active) = {
+        let d = shared.dispatch.lock().unwrap();
+        (d.queue.len(), d.active)
+    };
+    eatss_trace::gauge_set("serve.queue_depth", depth as f64);
+    eatss_trace::gauge_set("serve.in_flight", active as f64);
+    let s = shared.counters.snapshot();
+    let shed_rate = if s.requests > 0 {
+        s.shed as f64 / s.requests as f64
+    } else {
+        0.0
+    };
+    eatss_trace::gauge_set("serve.shed_rate", shed_rate);
+    // Mirror the lifetime request counters (monotone, gauge-typed
+    // because the registry's counters are delta-only).
+    eatss_trace::gauge_set("serve.requests", s.requests as f64);
+    eatss_trace::gauge_set("serve.ok", s.ok as f64);
+    eatss_trace::gauge_set("serve.errors", s.errors as f64);
+    eatss_trace::gauge_set("serve.shed", s.shed as f64);
+    eatss_trace::gauge_set("serve.coalesced", s.coalesced as f64);
+    let (garbage, bytes, live, shards) = {
+        let cache = shared.cache.lock().unwrap();
+        (
+            cache.garbage_ratio(),
+            cache.journal_bytes(),
+            cache.live_bytes(),
+            cache.shard_bytes(),
+        )
+    };
+    eatss_trace::gauge_set("journal.garbage_ratio", garbage);
+    eatss_trace::gauge_set("journal.bytes", bytes as f64);
+    eatss_trace::gauge_set("journal.live_bytes", live as f64);
+    eatss_trace::gauge_set(
+        "journal.largest_segment_bytes",
+        shards.iter().copied().max().unwrap_or(0) as f64,
+    );
+}
+
+/// What the request wrapper needs to know about how a `select` ended —
+/// feeds the latency histogram, the flight recorder, and the access log.
+struct SelectSummary {
+    outcome: &'static str,
+    cache: &'static str,
+    deadline_ms: u64,
+    queue_us: u64,
+    solve_us: u64,
+    fell_back: bool,
+}
+
+impl Default for SelectSummary {
+    fn default() -> Self {
+        SelectSummary {
+            outcome: "error",
+            cache: "none",
+            deadline_ms: 0,
+            queue_us: 0,
+            solve_us: 0,
+            fell_back: false,
+        }
+    }
+}
+
+/// The observability wrapper around a `select` request: allocates a
+/// process-unique trace lane, runs the request under it, then harvests
+/// the lane's events into the flight recorder, records the end-to-end
+/// latency histogram, and writes the access-log line. Worker-side spans
+/// land on the same lane (the job carries it), and the worker closes
+/// them before broadcasting the outcome, so the harvest here sees the
+/// complete span tree.
 fn handle_select(
     shared: &Arc<Shared>,
     stream: &mut Stream,
@@ -741,8 +991,66 @@ fn handle_select(
     select: &SelectRequest,
 ) -> bool {
     let started = Instant::now();
-    let lane = shared.next_lane();
-    let _lane = lane_scope(lane);
+    let lane = eatss_trace::alloc_lane();
+    ACTIVE_LANES.lock().unwrap().insert(lane);
+    let mut summary = SelectSummary::default();
+    let keep = {
+        let _lane = lane_scope(lane);
+        handle_select_inner(shared, stream, id, select, started, lane, &mut summary)
+    };
+    let dur_us = started.elapsed().as_micros() as u64;
+    shared.hist.request_us.record(dur_us);
+    // Remove this lane and harvest it under the registry lock: a lane
+    // registered mid-harvest stays protected, lanes of abandoned
+    // requests do not accumulate in the process-global event buffer.
+    let events = {
+        let mut active = ACTIVE_LANES.lock().unwrap();
+        active.remove(&lane);
+        eatss_trace::harvest_lane(lane, |l| active.contains(&l))
+    };
+    let kernel = select
+        .kernel
+        .clone()
+        .unwrap_or_else(|| "<source>".to_string());
+    shared.flight.lock().unwrap().push(RequestRecord {
+        id: id.clone(),
+        kernel: kernel.clone(),
+        lane,
+        outcome: summary.outcome.to_string(),
+        cache: summary.cache.to_string(),
+        dur_us,
+        events,
+    });
+    let mut fields = vec![("op", str_field("select"))];
+    if let Some(id) = id {
+        fields.push(("id", str_field(id)));
+    }
+    fields.push(("kernel", str_field(&kernel)));
+    fields.push((
+        "arch",
+        str_field(select.arch.as_deref().unwrap_or(&shared.config.default_arch.name)),
+    ));
+    fields.push(("deadline_ms", summary.deadline_ms.to_string()));
+    fields.push(("outcome", str_field(summary.outcome)));
+    fields.push(("cache", str_field(summary.cache)));
+    fields.push(("queue_us", summary.queue_us.to_string()));
+    fields.push(("solve_us", summary.solve_us.to_string()));
+    fields.push(("fell_back", summary.fell_back.to_string()));
+    fields.push(("latency_us", dur_us.to_string()));
+    fields.push(("git_sha", str_field(&shared.provenance.git_sha)));
+    shared.log_access(fields);
+    keep
+}
+
+fn handle_select_inner(
+    shared: &Arc<Shared>,
+    stream: &mut Stream,
+    id: &Option<String>,
+    select: &SelectRequest,
+    started: Instant,
+    lane: u64,
+    summary: &mut SelectSummary,
+) -> bool {
     let mut sp = span("serve", "request");
     sp.arg("kernel", select.kernel.clone().unwrap_or_default());
 
@@ -764,6 +1072,7 @@ fn handle_select(
         .map(Duration::from_millis)
         .unwrap_or(shared.config.default_deadline)
         .min(shared.config.max_deadline);
+    summary.deadline_ms = deadline.as_millis() as u64;
 
     let cache_key = encode_key(&arch, &program, &sizes, &cfg);
     let chaos = select.chaos.clone().filter(|_| shared.config.allow_chaos);
@@ -796,8 +1105,11 @@ fn handle_select(
                 verify,
                 fell_back: false,
                 served_from_cache: true,
+                queue_us: 0,
+                solve_us: 0,
             };
-            let _ = write_outcome(shared, stream, id.as_deref(), &outcome, "hit", started);
+            let _ =
+                write_outcome(shared, stream, id.as_deref(), &outcome, "hit", started, summary);
             return true;
         }
     }
@@ -820,12 +1132,14 @@ fn handle_select(
         verify: select.verify,
         chaos,
         lane,
+        admitted_at: Instant::now(),
     };
     let (rx, cache_tag) = match shared.admit(job) {
         Admission::Admitted(rx) => (rx, "miss"),
         Admission::Coalesced(rx) => (rx, "coalesced"),
         Admission::Shed { retry_after_ms } => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            summary.outcome = "overloaded";
             let _ = write_line(
                 stream,
                 &with_id_opt(
@@ -840,6 +1154,7 @@ fn handle_select(
         }
         Admission::ShuttingDown => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            summary.outcome = "shutting_down";
             let _ = write_error(stream, id.as_deref(), &ServeError::ShuttingDown);
             return true;
         }
@@ -847,13 +1162,15 @@ fn handle_select(
 
     match rx.recv() {
         Ok(outcome) => {
-            let _ = write_outcome(shared, stream, id.as_deref(), &outcome, cache_tag, started);
+            let _ =
+                write_outcome(shared, stream, id.as_deref(), &outcome, cache_tag, started, summary);
             true
         }
         Err(_) => {
             // Worker side dropped without sending — only possible on a
             // hard shutdown race.
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            summary.outcome = "shutting_down";
             let _ = write_error(stream, id.as_deref(), &ServeError::ShuttingDown);
             false
         }
@@ -939,7 +1256,10 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
 
-        let outcome = match catch_unwind(AssertUnwindSafe(|| run_job(shared, &job))) {
+        let queue_wait_us = job.admitted_at.elapsed().as_micros() as u64;
+        shared.hist.queue_us.record(queue_wait_us);
+        let solve_started = Instant::now();
+        let mut outcome = match catch_unwind(AssertUnwindSafe(|| run_job(shared, &job))) {
             Ok(outcome) => outcome,
             Err(payload) => {
                 shared.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
@@ -947,6 +1267,15 @@ fn worker_loop(shared: &Arc<Shared>) {
                 Outcome::Panicked(panic_message(payload.as_ref()))
             }
         };
+        let worker_us = solve_started.elapsed().as_micros() as u64;
+        shared.hist.solve_us.record(worker_us);
+        if let Outcome::Done {
+            queue_us, solve_us, ..
+        } = &mut outcome
+        {
+            *queue_us = queue_wait_us;
+            *solve_us = worker_us;
+        }
 
         // Durability before visibility: journal committed results before
         // any waiter hears about them.
@@ -957,11 +1286,21 @@ fn worker_loop(shared: &Arc<Shared>) {
         } = &outcome
         {
             if is_committed(result) {
-                let _ = shared
-                    .cache
-                    .lock()
-                    .unwrap()
-                    .insert_key(job.cache_key.clone(), result.clone());
+                let _lane = lane_scope(job.lane);
+                let append_started = Instant::now();
+                {
+                    let _sp = span("serve", "journal_append");
+                    let _ = shared
+                        .cache
+                        .lock()
+                        .unwrap()
+                        .insert_key(job.cache_key.clone(), result.clone());
+                }
+                shared
+                    .hist
+                    .journal_append_us
+                    .record(append_started.elapsed().as_micros() as u64);
+                maybe_auto_compact(shared);
             }
         }
 
@@ -974,8 +1313,29 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             waiters
         };
-        for tx in waiters.unwrap_or_default() {
-            let _ = tx.send(outcome.clone());
+        if let Some(waiters) = waiters {
+            // How many requests one solve answered (1 = no coalescing).
+            eatss_trace::gauge_set("serve.coalesce_width", waiters.len() as f64);
+            for tx in waiters {
+                let _ = tx.send(outcome.clone());
+            }
+        }
+    }
+}
+
+/// Garbage-ratio-driven journal compaction: when the appended record
+/// pushes the ratio past the configured threshold, compact in place
+/// (still on the worker thread, after the append, before the broadcast
+/// — admission keeps flowing, only this worker stalls).
+fn maybe_auto_compact(shared: &Arc<Shared>) {
+    let Some(threshold) = shared.config.compact_garbage_ratio else {
+        return;
+    };
+    let mut cache = shared.cache.lock().unwrap();
+    if cache.is_durable() && cache.garbage_ratio() > threshold {
+        let _sp = span("serve", "auto_compact");
+        if cache.compact().is_ok() {
+            eatss_trace::counter_add("journal.auto_compactions", 1);
         }
     }
 }
@@ -1070,6 +1430,8 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
             verify,
             fell_back: false,
             served_from_cache: true,
+            queue_us: 0,
+            solve_us: 0,
         };
     }
 
@@ -1127,6 +1489,8 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
         verify,
         fell_back,
         served_from_cache: false,
+        queue_us: 0,
+        solve_us: 0,
     }
 }
 
@@ -1220,10 +1584,17 @@ fn write_outcome(
     outcome: &Outcome,
     cache_tag: &str,
     started: Instant,
+    summary: &mut SelectSummary,
 ) -> io::Result<()> {
+    summary.cache = match cache_tag {
+        "hit" => "hit",
+        "coalesced" => "coalesced",
+        _ => "miss",
+    };
     let line = match outcome {
         Outcome::Panicked(message) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            summary.outcome = "error";
             error_fields_opt(id, "worker_panic", message)
         }
         Outcome::Done {
@@ -1231,10 +1602,17 @@ fn write_outcome(
             eval,
             verify,
             fell_back,
+            queue_us,
+            solve_us,
             ..
-        } => match result {
+        } => {
+            summary.queue_us = *queue_us;
+            summary.solve_us = *solve_us;
+            summary.fell_back = *fell_back;
+            match result {
             Ok(solution) => {
                 shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+                summary.outcome = "ok";
                 let mut fields = vec![
                     ("status", str_field("ok")),
                     (
@@ -1315,6 +1693,7 @@ fn write_outcome(
             }
             Err(EatssError::Unsatisfiable { reason }) => {
                 shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
+                summary.outcome = "infeasible";
                 with_id_opt(
                     id,
                     vec![
@@ -1330,11 +1709,13 @@ fn write_outcome(
             }
             Err(e) => {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                summary.outcome = "error";
                 let serve_error =
                     ServeError::Pipeline(eatss::PipelineError::from_eatss(e.clone(), "serve"));
                 error_line(id, &serve_error)
             }
-        },
+        }
+        }
     };
     write_line(stream, &line)
 }
@@ -1447,7 +1828,11 @@ fn write_error(stream: &mut Stream, id: Option<&str>, error: &ServeError) -> io:
 }
 
 fn write_line(stream: &mut Stream, line: &str) -> io::Result<()> {
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
+    // One write per frame: a separate 1-byte newline write would be a
+    // second small packet Nagle delays behind the peer's ACK.
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    stream.write_all(framed.as_bytes())?;
     stream.flush()
 }

@@ -613,6 +613,7 @@ impl Solver {
             self.record_stop(reason);
         }
         let elapsed = started.elapsed();
+        eatss_trace::histogram("smt.maximize_us").record(elapsed.as_micros() as u64);
         self.stats.solve_time += elapsed;
         let propagation_delta = self
             .stats

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... \
-//!             [--expect-counter NAME]...
+//!             [--expect-counter NAME]... [--expect-histogram NAME]...
 //! ```
 //!
 //! For `chrome` (the default) the file must parse as JSON, contain a
@@ -13,9 +13,13 @@
 //! parse and the first must be a header carrying provenance. Each
 //! `--expect-counter NAME` must name a registry counter present in the
 //! trace — a trailing `"C"` sample in `chrome`, a key under
-//! `metrics.counters` in the `jsonl` header.
+//! `metrics.counters` in the `jsonl` header. Each `--expect-histogram
+//! NAME` must name a histogram (a `"C"` sample carrying `count`/`p50`/
+//! `p99`/`max` args in `chrome`, a key under `metrics.histograms` in
+//! `jsonl`) whose quantile estimates are sane: `p50 <= p99 <= max` and
+//! a nonzero count.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use eatss_trace::json::Json;
@@ -39,6 +43,7 @@ fn run() -> Result<String, String> {
     let mut format = TraceFormat::Chrome;
     let mut expects: Vec<String> = Vec::new();
     let mut expect_counters: Vec<String> = Vec::new();
+    let mut expect_histograms: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -51,9 +56,12 @@ fn run() -> Result<String, String> {
             "--expect-counter" => {
                 expect_counters.push(argv.next().ok_or("--expect-counter needs NAME")?)
             }
+            "--expect-histogram" => {
+                expect_histograms.push(argv.next().ok_or("--expect-histogram needs NAME")?)
+            }
             "--help" | "-h" => {
                 return Ok(
-                    "usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... [--expect-counter NAME]..."
+                    "usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... [--expect-counter NAME]... [--expect-histogram NAME]..."
                         .to_string(),
                 )
             }
@@ -61,15 +69,23 @@ fn run() -> Result<String, String> {
             _ => return Err(format!("unexpected argument '{arg}'")),
         }
     }
-    let file = file.ok_or("usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... [--expect-counter NAME]...")?;
+    let file = file.ok_or("usage: trace_check <file> [--format chrome|jsonl] [--expect CAT:NAME]... [--expect-counter NAME]... [--expect-histogram NAME]...")?;
     let text = std::fs::read_to_string(&file).map_err(|e| format!("read {file}: {e}"))?;
     match format {
-        TraceFormat::Chrome => check_chrome(&text, &expects, &expect_counters),
-        TraceFormat::Jsonl => check_jsonl(&text, &expects, &expect_counters),
+        TraceFormat::Chrome => check_chrome(&text, &expects, &expect_counters, &expect_histograms),
+        TraceFormat::Jsonl => check_jsonl(&text, &expects, &expect_counters, &expect_histograms),
     }
 }
 
-fn check_chrome(text: &str, expects: &[String], expect_counters: &[String]) -> Result<String, String> {
+/// `(count, p50, p99, max)` of a histogram found in the trace.
+type HistogramSummary = (f64, f64, f64, f64);
+
+fn check_chrome(
+    text: &str,
+    expects: &[String],
+    expect_counters: &[String],
+    expect_histograms: &[String],
+) -> Result<String, String> {
     let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = doc
         .get("traceEvents")
@@ -85,6 +101,7 @@ fn check_chrome(text: &str, expects: &[String], expect_counters: &[String]) -> R
         .ok_or("missing otherData.provenance.git_sha")?;
     let mut spans: BTreeSet<String> = BTreeSet::new();
     let mut counters: BTreeSet<String> = BTreeSet::new();
+    let mut histograms: BTreeMap<String, HistogramSummary> = BTreeMap::new();
     let mut span_count = 0usize;
     for (i, event) in events.iter().enumerate() {
         let name = event
@@ -114,6 +131,15 @@ fn check_chrome(text: &str, expects: &[String], expect_counters: &[String]) -> R
             }
             "C" => {
                 counters.insert(name.to_string());
+                let args = event.get("args");
+                let field = |key| {
+                    args.and_then(|a| a.get(key)).and_then(Json::as_f64)
+                };
+                if let (Some(count), Some(p50), Some(p99), Some(max)) =
+                    (field("count"), field("p50"), field("p99"), field("max"))
+                {
+                    histograms.insert(name.to_string(), (count, p50, p99, max));
+                }
             }
             "i" | "M" => {}
             other => return Err(format!("event {i} ({name}): unexpected ph '{other}'")),
@@ -121,15 +147,22 @@ fn check_chrome(text: &str, expects: &[String], expect_counters: &[String]) -> R
     }
     check_expects(expects, &spans)?;
     check_expected_counters(expect_counters, &counters)?;
+    check_expected_histograms(expect_histograms, &histograms)?;
     Ok(format!(
-        "ok: {} trace events, {span_count} spans ({} distinct), {} counter(s)",
+        "ok: {} trace events, {span_count} spans ({} distinct), {} counter(s), {} histogram(s)",
         events.len(),
         spans.len(),
-        counters.len()
+        counters.len(),
+        histograms.len()
     ))
 }
 
-fn check_jsonl(text: &str, expects: &[String], expect_counters: &[String]) -> Result<String, String> {
+fn check_jsonl(
+    text: &str,
+    expects: &[String],
+    expect_counters: &[String],
+    expect_histograms: &[String],
+) -> Result<String, String> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or("empty file")?;
     let header = Json::parse(header).map_err(|e| format!("invalid header: {e}"))?;
@@ -147,6 +180,21 @@ fn check_jsonl(text: &str, expects: &[String], expect_counters: &[String]) -> Re
         .and_then(Json::as_object)
         .map(|o| o.keys().cloned().collect())
         .unwrap_or_default();
+    let mut histograms: BTreeMap<String, HistogramSummary> = BTreeMap::new();
+    if let Some(map) = header
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(Json::as_object)
+    {
+        for (name, h) in map {
+            let field = |key| h.get(key).and_then(Json::as_f64);
+            if let (Some(count), Some(p50), Some(p99), Some(max)) =
+                (field("count"), field("p50"), field("p99"), field("max"))
+            {
+                histograms.insert(name.clone(), (count, p50, p99, max));
+            }
+        }
+    }
     let mut spans: BTreeSet<String> = BTreeSet::new();
     let mut count = 0usize;
     for (i, line) in lines.enumerate() {
@@ -172,10 +220,12 @@ fn check_jsonl(text: &str, expects: &[String], expect_counters: &[String]) -> Re
     }
     check_expects(expects, &spans)?;
     check_expected_counters(expect_counters, &counters)?;
+    check_expected_histograms(expect_histograms, &histograms)?;
     Ok(format!(
-        "ok: {count} events, {} distinct spans, {} counter(s)",
+        "ok: {count} events, {} distinct spans, {} counter(s), {} histogram(s)",
         spans.len(),
-        counters.len()
+        counters.len(),
+        histograms.len()
     ))
 }
 
@@ -185,6 +235,29 @@ fn check_expects(expects: &[String], spans: &BTreeSet<String>) -> Result<(), Str
             return Err(format!(
                 "expected span '{expect}' not found; present: {}",
                 spans.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_expected_histograms(
+    expects: &[String],
+    histograms: &BTreeMap<String, HistogramSummary>,
+) -> Result<(), String> {
+    for expect in expects {
+        let Some((count, p50, p99, max)) = histograms.get(expect) else {
+            return Err(format!(
+                "expected histogram '{expect}' not found; present: {}",
+                histograms.keys().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        };
+        if *count < 1.0 {
+            return Err(format!("histogram '{expect}': zero observations"));
+        }
+        if !(p50 <= p99 && p99 <= max) {
+            return Err(format!(
+                "histogram '{expect}': quantiles not monotone (p50={p50}, p99={p99}, max={max})"
             ));
         }
     }

@@ -36,11 +36,13 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 mod event;
+pub mod histogram;
 pub mod json;
 mod metrics;
 mod sink;
 
 pub use event::{ArgValue, Event, EventKind};
+pub use histogram::{histogram, Histogram, HistogramSnapshot};
 pub use metrics::{counter_add, gauge_set, metrics_snapshot, MetricsSnapshot};
 pub use sink::{Provenance, Trace, TraceFormat};
 
@@ -241,6 +243,40 @@ pub fn lane_scope(lane: u64) -> LaneGuard {
 /// The lane events on this thread are currently tagged with.
 pub fn current_lane() -> u64 {
     LANE.with(|l| l.get())
+}
+
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique lane id (never 0, the main/control lane).
+/// Long-lived services use this instead of local counters so lanes from
+/// independent components sharing a process never collide — which is
+/// what makes [`harvest_lane`] safe to call concurrently.
+pub fn alloc_lane() -> u64 {
+    NEXT_LANE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Removes and returns every recorded event tagged with `lane`, in
+/// `seq` order. Events on other lanes are retained only where
+/// `keep(lane)` says so — lanes still in flight pass `true`; everything
+/// else (finished strays, lane-0 log chatter) is discarded. This is the
+/// incremental counterpart to [`drain`] for long-running services: each
+/// completed request harvests its own span tree, and the global buffer
+/// stays bounded by the in-flight set instead of growing for the
+/// process lifetime. Collection stays enabled.
+pub fn harvest_lane(lane: u64, keep: impl Fn(u64) -> bool) -> Vec<Event> {
+    let mut events = EVENTS.lock().unwrap();
+    let all = std::mem::take(&mut *events);
+    let mut taken = Vec::new();
+    for event in all {
+        if event.lane == lane {
+            taken.push(event);
+        } else if keep(event.lane) {
+            events.push(event);
+        }
+    }
+    drop(events);
+    taken.sort_by_key(|e| e.seq);
+    taken
 }
 
 /// An in-flight hierarchical span. Created by [`span`]; records a `Begin`

@@ -118,7 +118,7 @@ impl Trace {
             out,
             "{{\"type\":\"header\",\"provenance\":{},\"metrics\":{}}}",
             self.provenance.to_json(),
-            metrics_json(&self.metrics)
+            self.metrics.to_json()
         );
         out.push('\n');
         for event in &self.events {
@@ -154,10 +154,22 @@ impl Trace {
 
     /// Chrome `trace_events` serialization. Spans become complete (`"X"`)
     /// events, instants become `"i"` events, lanes become named threads
-    /// of a single `eatss` process, and registry counters/gauges become
-    /// trailing counter (`"C"`) samples. The result opens directly in
-    /// `ui.perfetto.dev` or `chrome://tracing`.
+    /// of a single `eatss` process, and registry counters/gauges/
+    /// histograms become trailing counter (`"C"`) samples (histograms
+    /// carry `count`/`p50`/`p90`/`p99`/`max` args). The result opens
+    /// directly in `ui.perfetto.dev` or `chrome://tracing`.
     pub fn to_chrome_json(&self) -> String {
+        self.chrome_json(",\n", "[\n", "\n]", "\n")
+    }
+
+    /// [`Trace::to_chrome_json`] without any newlines — a single line
+    /// embeddable as a raw value in JSON-lines protocols (the daemon's
+    /// `trace` op). Same document, byte-for-byte, modulo whitespace.
+    pub fn to_chrome_json_compact(&self) -> String {
+        self.chrome_json(",", "[", "]", "")
+    }
+
+    fn chrome_json(&self, sep: &str, open: &str, close: &str, tail: &str) -> String {
         let mut entries: Vec<String> = Vec::new();
         entries.push(
             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"eatss\"}}"
@@ -217,12 +229,27 @@ impl Trace {
                 number(*value)
             ));
         }
+        for (name, snap) in &self.metrics.histograms {
+            entries.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}}}",
+                escape(name),
+                last_ts,
+                snap.count(),
+                snap.quantile(0.5),
+                snap.quantile(0.9),
+                snap.quantile(0.99),
+                snap.max()
+            ));
+        }
         let mut out = String::new();
         out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"provenance\":");
         out.push_str(&self.provenance.to_json());
-        out.push_str("},\"traceEvents\":[\n");
-        out.push_str(&entries.join(",\n"));
-        out.push_str("\n]}\n");
+        out.push_str("},\"traceEvents\":");
+        out.push_str(open);
+        out.push_str(&entries.join(sep));
+        out.push_str(close);
+        out.push('}');
+        out.push_str(tail);
         out
     }
 
@@ -313,24 +340,5 @@ fn args_json(args: &[(&'static str, ArgValue)]) -> String {
         }
     }
     out.push('}');
-    out
-}
-
-fn metrics_json(metrics: &MetricsSnapshot) -> String {
-    let mut out = String::from("{\"counters\":{");
-    for (i, (name, value)) in metrics.counters.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{}\":{}", escape(name), value);
-    }
-    out.push_str("},\"gauges\":{");
-    for (i, (name, value)) in metrics.gauges.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{}\":{}", escape(name), number(*value));
-    }
-    out.push_str("}}");
     out
 }

@@ -1,0 +1,141 @@
+//! Histogram invariants: the quantile estimator stays within the
+//! documented log-2 bucket error bound of exact sorted-sample quantiles,
+//! and concurrent recording loses no observations.
+//!
+//! The collector is process-global, so every test that records takes
+//! `SESSION` first (recording is gated on `collecting()`).
+
+use std::sync::{Mutex, MutexGuard};
+
+use eatss_trace::{histogram, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Serializes collector access and turns collection on. Survives mutex
+/// poisoning from a failed sibling test (the guard protects nothing
+/// stateful beyond the process-global collector).
+fn session() -> MutexGuard<'static, ()> {
+    let guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    if !eatss_trace::collecting() {
+        eatss_trace::start_collecting();
+    }
+    guard
+}
+
+fn fill(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact quantile of a sample: the rank-`ceil(q·n)` order statistic,
+/// matching the rank the estimator targets.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200 })]
+
+    /// The documented bound: for a true quantile `v >= 1` the estimate
+    /// `e` satisfies `v <= e < 2v`, and `e = 0` exactly when `v = 0`.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        values in prop::collection::vec(0u64..=1_000_000, 1..200),
+    ) {
+        let _session = session();
+        let snap = fill(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            if exact == 0 {
+                prop_assert_eq!(est, 0);
+            } else {
+                prop_assert!(
+                    exact <= est && est < 2 * exact,
+                    "q={} exact={} est={}", q, exact, est
+                );
+            }
+        }
+        prop_assert_eq!(snap.max(), snap.quantile(1.0));
+    }
+
+    /// Monotonicity holds for every sample, not just sane ones.
+    #[test]
+    fn quantiles_are_monotone(
+        values in prop::collection::vec(0u64..=u64::MAX, 1..100),
+    ) {
+        let _session = session();
+        let snap = fill(&values);
+        let p50 = snap.quantile(0.5);
+        let p90 = snap.quantile(0.9);
+        let p99 = snap.quantile(0.99);
+        prop_assert!(p50 <= p90 && p90 <= p99 && p99 <= snap.max());
+    }
+}
+
+/// Relaxed `fetch_add` never drops observations: total count is exact
+/// under parallel recording from a scoped thread pool.
+#[test]
+fn concurrent_recording_keeps_exact_count() {
+    let _session = session();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets so adds genuinely contend.
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+}
+
+/// Registry handles are interned: same name, same histogram; snapshots
+/// surface through the metrics snapshot and reset with the session.
+#[test]
+fn registry_interns_and_resets() {
+    let _session = session();
+    eatss_trace::start_collecting();
+    let a = histogram("test.registry_us");
+    let b = histogram("test.registry_us");
+    assert!(std::ptr::eq(a, b));
+    a.record(7);
+    b.record(130);
+    let metrics = eatss_trace::metrics_snapshot();
+    let snap = metrics.histogram("test.registry_us").expect("registered");
+    assert_eq!(snap.count(), 2);
+    assert_eq!(snap.quantile(0.5), 7);
+    assert_eq!(snap.max(), 255);
+    // A new session zeroes the buckets but keeps the handle valid.
+    eatss_trace::start_collecting();
+    assert_eq!(a.snapshot().count(), 0);
+    a.record(1);
+    assert_eq!(b.snapshot().count(), 1);
+}
+
+/// Recording while collection is off is a no-op, like counters.
+#[test]
+fn disabled_collection_drops_records() {
+    let _session = session();
+    eatss_trace::stop_collecting();
+    let h = Histogram::new();
+    h.record(42);
+    assert_eq!(h.snapshot().count(), 0);
+    eatss_trace::start_collecting();
+    h.record(42);
+    assert_eq!(h.snapshot().count(), 1);
+}

@@ -8,7 +8,8 @@ use std::sync::Mutex;
 
 use eatss_trace::json::Json;
 use eatss_trace::{
-    ArgValue, Event, EventKind, Level, MetricsSnapshot, Provenance, Trace, TraceFormat,
+    ArgValue, Event, EventKind, HistogramSnapshot, Level, MetricsSnapshot, Provenance, Trace,
+    TraceFormat,
 };
 
 static SESSION: Mutex<()> = Mutex::new(());
@@ -227,6 +228,13 @@ fn fixed_trace() -> Trace {
     let mut metrics = MetricsSnapshot::default();
     metrics.counters.insert("smt.nodes".to_string(), 42);
     metrics.gauges.insert("sweep.best_ppw".to_string(), 1.25);
+    // Two observations in 4..=7, one in 1024..=2047: p50 = 7, p90 = 2047.
+    let mut buckets = vec![0u64; eatss_trace::histogram::HISTOGRAM_BUCKETS];
+    buckets[3] = 2;
+    buckets[11] = 1;
+    metrics
+        .histograms
+        .insert("serve.solve_us".to_string(), HistogramSnapshot { buckets });
     Trace {
         provenance: test_provenance(),
         events: vec![
@@ -298,8 +306,17 @@ fn chrome_output_matches_golden_file_and_is_valid_trace_events_json() {
     // Independently validate the structure with the JSON parser.
     let doc = Json::parse(&rendered).expect("valid JSON");
     let events = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
-    // 1 process_name + 2 thread_name + 2 X + 1 i + 2 C.
-    assert_eq!(events.len(), 8);
+    // 1 process_name + 2 thread_name + 2 X + 1 i + 2 gauge/counter C + 1 histogram C.
+    assert_eq!(events.len(), 9);
+    let hist = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("serve.solve_us"))
+        .expect("histogram sample present");
+    assert_eq!(hist.get("ph").and_then(Json::as_str), Some("C"));
+    let args = hist.get("args").expect("histogram args");
+    assert_eq!(args.get("count").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(args.get("p50").and_then(Json::as_f64), Some(7.0));
+    assert_eq!(args.get("max").and_then(Json::as_f64), Some(2047.0));
     let check = events
         .iter()
         .find(|e| e.get("name").and_then(Json::as_str) == Some("check"))
@@ -341,10 +358,30 @@ fn jsonl_output_parses_line_by_line() {
             .and_then(Json::as_f64),
         Some(42.0)
     );
+    let hist = header
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get("serve.solve_us"))
+        .expect("histogram in header");
+    assert_eq!(hist.get("count").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(hist.get("p99").and_then(Json::as_f64), Some(2047.0));
     for line in &lines[1..] {
         let event = Json::parse(line).expect("event parses");
         assert_eq!(event.get("type").and_then(Json::as_str), Some("event"));
     }
+}
+
+#[test]
+fn compact_chrome_output_is_single_line_and_equivalent() {
+    let pretty = fixed_trace().to_chrome_json();
+    let compact = fixed_trace().to_chrome_json_compact();
+    assert!(!compact.contains('\n'));
+    let a = Json::parse(&pretty).expect("pretty parses");
+    let b = Json::parse(&compact).expect("compact parses");
+    assert_eq!(
+        a.get("traceEvents").and_then(Json::as_array).map(|events| events.len()),
+        b.get("traceEvents").and_then(Json::as_array).map(|events| events.len())
+    );
 }
 
 #[test]
