@@ -296,9 +296,10 @@ impl Parser {
     }
 
     fn parse_program(&mut self, name: &str) -> Result<Program, ParseError> {
-        let mut kernels = Vec::new();
+        let mut kernels: Vec<Kernel> = Vec::new();
         while !matches!(self.peek(), Tok::Eof) {
-            kernels.push(self.parse_kernel()?);
+            let kernel = self.parse_kernel(&kernels)?;
+            kernels.push(kernel);
         }
         if kernels.is_empty() {
             return Err(self.err("expected at least one `kernel` declaration"));
@@ -309,9 +310,20 @@ impl Parser {
         })
     }
 
-    fn parse_kernel(&mut self) -> Result<Kernel, ParseError> {
+    fn parse_kernel(&mut self, taken: &[Kernel]) -> Result<Kernel, ParseError> {
         self.eat_keyword("kernel")?;
+        let (name_line, name_col) = self.here();
         let name = self.eat_ident()?;
+        // Downstream lookups are name-keyed (execution plans, verify
+        // batches, serve requests); a duplicate would silently shadow
+        // one of the nests.
+        if taken.iter().any(|k| k.name == name) {
+            return Err(ParseError {
+                line: name_line,
+                col: name_col,
+                message: format!("duplicate kernel name `{name}`"),
+            });
+        }
         self.eat_punct("(")?;
         let mut params = Vec::new();
         if !matches!(self.peek(), Tok::Punct(")")) {
@@ -709,6 +721,25 @@ mod tests {
         let e =
             parse_program("kernel f(N) { for (i: N) for (i: N) A[i] = B[i]; }").unwrap_err();
         assert!(e.message.contains("duplicate loop iterator"));
+    }
+
+    #[test]
+    fn error_on_duplicate_kernel_name() {
+        let e = parse_program(
+            "kernel f(N) { for (i: N) A[i] = B[i]; }\n\
+             kernel f(M) { for (j: M) C[j] = D[j]; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate kernel name `f`"), "{e:?}");
+        // Positioned at the second `f`, line 2.
+        assert_eq!(e.line, 2);
+        // Distinct names in one program stay legal.
+        let p = parse_program(
+            "kernel f(N) { for (i: N) A[i] = B[i]; }\n\
+             kernel g(N) { for (i: N) A[i] = B[i]; }",
+        )
+        .unwrap();
+        assert_eq!(p.kernels.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! **bench_pareto** — device-portfolio fleet benchmark: the paper's
+//! configuration sweep on every committed [`DeviceProfile`], reduced to
+//! per-device energy-vs-performance Pareto fronts, with three acceptance
+//! gates wired to the exit code:
+//!
+//! 1. *Dominance* — every front point is re-checked against a brute-force
+//!    dominance oracle over the whole sweep, and the front's deterministic
+//!    ordering (ascending energy, strictly increasing throughput) is
+//!    asserted, including across a recomputation.
+//! 2. *Correctness* — every front point's tiles are verified bitwise
+//!    against the reference interpreter through the batched differential
+//!    oracle at shrunk sizes.
+//! 3. *Transfer* — the RBF surrogate fitted on the GA100's tuning history
+//!    must reduce evals-to-best on each other device compared to a cold
+//!    search with the same budget and seed.
+//!
+//! Any gate failing prints a `REGRESSION` line and exits non-zero, so CI
+//! can run `--mode smoke` as a tripwire.
+//!
+//! Usage: `bench_pareto [--mode smoke|full] [--out PATH]`
+//!   --mode smoke   2 kernels, uniform sizes, single warp fraction (CI)
+//!   --mode full    4 kernels at per-device datasets, two warp fractions
+//!   --out PATH     JSON report path (default BENCH_pareto.json)
+
+use eatss::sweep::{SweepOutcome, SweepPoint, PAPER_SPLITS};
+use eatss::{Eatss, EatssConfig, ThreadBlockCap};
+use eatss_autotune::{Autotuner, SurrogatePrior, TuneOptions, TuneResult};
+use eatss_bench::table::fmt_f;
+use eatss_bench::Table;
+use eatss_gpusim::{DeviceProfile, GpuArch};
+use eatss_kernels::Dataset;
+use eatss_ppcg::oracle::verify_sizes;
+use eatss_ppcg::{OracleOptions, TileSpace};
+use eatss_trace::json::number;
+use std::fmt::Write as _;
+
+/// Shrink caps for the differential-oracle pass (the daemon's
+/// `verify: true` rule).
+const VERIFY_SPACE_CAP: i64 = 17;
+const VERIFY_TIME_CAP: i64 = 3;
+const VERIFY_SEED: u64 = 0xEA75_50AC;
+
+/// Transfer-experiment seeds: the prior is fitted under one seed and the
+/// cold/warm comparison runs under another, so the reduction cannot come
+/// from replaying the source trajectory.
+const SOURCE_SEED: u64 = 7;
+const TARGET_SEED: u64 = 9;
+const TRANSFER_BUDGET: usize = 40;
+
+struct FrontRow {
+    tiles: Vec<i64>,
+    split: f64,
+    warp_fraction: f64,
+    strict_cap: bool,
+    provenance: String,
+    energy_j: f64,
+    gflops: f64,
+    ppw: f64,
+}
+
+struct DeviceRun {
+    device: String,
+    kernel: String,
+    points: usize,
+    infeasible: usize,
+    front: Vec<FrontRow>,
+    verified_configs: u64,
+    verified_points: u64,
+}
+
+struct TransferRow {
+    source: String,
+    target: String,
+    prior_samples: usize,
+    cold_evals_to_best: usize,
+    warm_evals_to_best: usize,
+    cold_best: f64,
+    warm_best: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "full".to_owned());
+    let smoke = match mode.as_str() {
+        "smoke" => true,
+        "full" => false,
+        other => {
+            eprintln!("unknown mode `{other}` (expected smoke|full)");
+            eprintln!("usage: bench_pareto [--mode smoke|full] [--out PATH]");
+            std::process::exit(2);
+        }
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pareto.json".to_owned());
+
+    let kernels: &[&str] = if smoke {
+        &["gemm", "mvt"]
+    } else {
+        &["gemm", "2mm", "mvt", "jacobi-2d"]
+    };
+    let fractions: &[f64] = if smoke { &[0.5] } else { &[0.5, 0.25] };
+    let devices = DeviceProfile::builtin_names();
+    println!(
+        "device-portfolio Pareto fronts: {} devices x {} kernels ({mode} mode)\n",
+        devices.len(),
+        kernels.len()
+    );
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut runs: Vec<DeviceRun> = Vec::new();
+    let mut t = Table::new(vec![
+        "device",
+        "kernel",
+        "points",
+        "front",
+        "min E (J)",
+        "max GF",
+        "verified pts",
+    ]);
+
+    for device in &devices {
+        let arch = DeviceProfile::builtin(device)
+            .expect("builtin profile")
+            .into_arch();
+        let eatss = Eatss::new(arch.clone());
+        for name in kernels {
+            let b = eatss_kernels::by_name(name).expect("registered benchmark");
+            let program = b.program().expect("benchmark parses");
+            // Dataset heuristic: datacenter-class parts (>= 32 SMs) run
+            // the EXTRALARGE sets, embedded parts the STANDARD ones —
+            // the Fig 7 GA100/Xavier pairing generalized to the fleet.
+            let sizes = if smoke {
+                b.sizes_uniform(1024)
+            } else if arch.sm_count >= 32 {
+                b.sizes(Dataset::ExtraLarge)
+            } else {
+                b.sizes(Dataset::Standard)
+            };
+            let outcome = match eatss.sweep(&program, &sizes, &PAPER_SPLITS, fractions) {
+                Ok(o) => o,
+                Err(e) => {
+                    regressions.push(format!("{device}/{name}: sweep failed: {e}"));
+                    continue;
+                }
+            };
+            let front = outcome.pareto_front();
+            check_front(device, name, &outcome, &front, &mut regressions);
+
+            let (vc, vp) = match verify_front(&arch, &program, &sizes, &front) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    regressions.push(format!("{device}/{name}: oracle: {e}"));
+                    (0, 0)
+                }
+            };
+            t.row(vec![
+                (*device).into(),
+                (*name).into(),
+                outcome.points.len().to_string(),
+                front.len().to_string(),
+                fmt_f(front.first().map_or(f64::NAN, |p| p.report.energy_j)),
+                fmt_f(front.last().map_or(f64::NAN, |p| p.report.gflops)),
+                vp.to_string(),
+            ]);
+            runs.push(DeviceRun {
+                device: (*device).to_string(),
+                kernel: (*name).to_string(),
+                points: outcome.points.len(),
+                infeasible: outcome.infeasible.len(),
+                front: front
+                    .iter()
+                    .map(|p| FrontRow {
+                        tiles: p.solution.tiles.sizes().to_vec(),
+                        split: p.config.split_factor,
+                        warp_fraction: p.config.warp_fraction,
+                        strict_cap: p.config.cap == ThreadBlockCap::Strict,
+                        provenance: p.solution.provenance.to_string(),
+                        energy_j: p.report.energy_j,
+                        gflops: p.report.gflops,
+                        ppw: p.report.ppw,
+                    })
+                    .collect(),
+                verified_configs: vc,
+                verified_points: vp,
+            });
+        }
+    }
+    println!("{}", t.render());
+
+    // --- surrogate transfer: GA100 history seeds every other device ---
+    let transfer_targets: &[&str] = if smoke {
+        &["xavier"]
+    } else {
+        &["xavier", "h100", "orin", "nano"]
+    };
+    let transfers = run_transfer(transfer_targets, &mut regressions);
+    let mut tt = Table::new(vec![
+        "source",
+        "target",
+        "prior n",
+        "cold evals-to-best",
+        "warm evals-to-best",
+        "cold best GF",
+        "warm best GF",
+    ]);
+    for r in &transfers {
+        tt.row(vec![
+            r.source.clone(),
+            r.target.clone(),
+            r.prior_samples.to_string(),
+            r.cold_evals_to_best.to_string(),
+            r.warm_evals_to_best.to_string(),
+            fmt_f(r.cold_best),
+            fmt_f(r.warm_best),
+        ]);
+    }
+    println!("{}", tt.render());
+
+    write_report(&out_path, &mode, &runs, &transfers, &regressions);
+    println!("wrote {out_path}");
+
+    if regressions.is_empty() {
+        println!("all fronts non-dominated, oracle-verified; transfer reduces evals-to-best");
+    } else {
+        for r in &regressions {
+            eprintln!("REGRESSION: {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The dominance gate: ordering, brute-force non-domination, and
+/// recomputation determinism.
+fn check_front(
+    device: &str,
+    kernel: &str,
+    outcome: &SweepOutcome,
+    front: &[&SweepPoint],
+    regressions: &mut Vec<String>,
+) {
+    if front.is_empty() {
+        regressions.push(format!("{device}/{kernel}: empty Pareto front"));
+        return;
+    }
+    for pair in front.windows(2) {
+        if pair[0].report.energy_j > pair[1].report.energy_j
+            || pair[0].report.gflops >= pair[1].report.gflops
+        {
+            regressions.push(format!(
+                "{device}/{kernel}: front ordering violated at E={} GF={}",
+                pair[1].report.energy_j, pair[1].report.gflops
+            ));
+        }
+    }
+    for f in front {
+        for p in &outcome.points {
+            if !(p.report.valid && p.report.energy_j.is_finite() && p.report.gflops.is_finite()) {
+                continue;
+            }
+            let dominates = p.report.energy_j <= f.report.energy_j
+                && p.report.gflops >= f.report.gflops
+                && (p.report.energy_j < f.report.energy_j || p.report.gflops > f.report.gflops);
+            if dominates {
+                regressions.push(format!(
+                    "{device}/{kernel}: front point E={} GF={} is dominated",
+                    f.report.energy_j, f.report.gflops
+                ));
+            }
+        }
+    }
+    // Determinism: recomputing the front from the same outcome yields the
+    // same bits in the same order.
+    let again = outcome.pareto_front();
+    let same = again.len() == front.len()
+        && again.iter().zip(front).all(|(a, b)| {
+            a.report.energy_j.to_bits() == b.report.energy_j.to_bits()
+                && a.report.gflops.to_bits() == b.report.gflops.to_bits()
+        });
+    if !same {
+        regressions.push(format!("{device}/{kernel}: front recomputation differs"));
+    }
+}
+
+/// The correctness gate: every front point's tiles agree bitwise with the
+/// reference interpreter (one batched oracle call per front).
+fn verify_front(
+    arch: &GpuArch,
+    program: &eatss_affine::Program,
+    sizes: &eatss_affine::ProblemSizes,
+    front: &[&SweepPoint],
+) -> Result<(u64, u64), String> {
+    let shrunk = verify_sizes(program, sizes, VERIFY_SPACE_CAP, VERIFY_TIME_CAP);
+    let configs: Vec<_> = front.iter().map(|p| p.solution.tiles.clone()).collect();
+    let verdicts = eatss_ppcg::verify_batch(
+        program,
+        &configs,
+        arch,
+        &shrunk,
+        &OracleOptions::default(),
+        VERIFY_SEED,
+    );
+    let (mut vc, mut vp) = (0u64, 0u64);
+    for (i, verdict) in verdicts.into_iter().enumerate() {
+        match verdict {
+            Ok(report) => {
+                vc += 1;
+                vp += report.points;
+            }
+            Err(e) => return Err(format!("front point {i} ({}): {e}", configs[i])),
+        }
+    }
+    Ok((vc, vp))
+}
+
+/// The transfer gate: tune gemm on the GA100, fit the surrogate prior
+/// from that history, and require the prior-seeded search to reach its
+/// best in strictly fewer evaluations than the cold search on more
+/// targets than it slows down. Per-target outcomes (including honest
+/// negatives — a datacenter prior can mislead an embedded part and vice
+/// versa) are recorded in the JSON rather than failing individually.
+fn run_transfer(targets: &[&str], regressions: &mut Vec<String>) -> Vec<TransferRow> {
+    let b = eatss_kernels::by_name("gemm").expect("gemm registered");
+    let program = b.program().expect("gemm parses");
+    let sizes = b.sizes_uniform(1024);
+    let space = TileSpace::evaluation_grid(program.max_depth());
+    let cfg = EatssConfig::default();
+
+    let objective = |eatss: &Eatss| {
+        let program = program.clone();
+        let sizes = sizes.clone();
+        let cfg = cfg.clone();
+        let eatss = eatss.clone();
+        move |tiles: &eatss_affine::tiling::TileConfig| {
+            eatss
+                .evaluate(&program, tiles, &sizes, &cfg)
+                .ok()
+                .filter(|r| r.valid && r.gflops.is_finite())
+                .map(|r| r.gflops)
+        }
+    };
+
+    let source_arch = DeviceProfile::builtin("ga100").expect("ga100").into_arch();
+    let source = Eatss::new(source_arch);
+    let fitted: TuneResult = Autotuner::new(TuneOptions {
+        budget: TRANSFER_BUDGET,
+        seed: SOURCE_SEED,
+        ..TuneOptions::default()
+    })
+    .tune(&space, objective(&source));
+    let prior = SurrogatePrior::from_result(&fitted);
+    if prior.is_empty() {
+        regressions.push("transfer: empty GA100 prior (no successful evaluations)".into());
+        return Vec::new();
+    }
+
+    let mut rows = Vec::new();
+    for target in targets {
+        let arch = DeviceProfile::builtin(target).expect("builtin profile").into_arch();
+        let eatss = Eatss::new(arch);
+        let opts = TuneOptions {
+            budget: TRANSFER_BUDGET,
+            seed: TARGET_SEED,
+            ..TuneOptions::default()
+        };
+        let cold = Autotuner::new(opts.clone()).tune(&space, objective(&eatss));
+        let warm =
+            Autotuner::new(opts).tune_with_prior(&space, objective(&eatss), Some(&prior));
+        let (Some(cold_evals), Some(warm_evals)) = (cold.evals_to_best(), warm.evals_to_best())
+        else {
+            regressions.push(format!("transfer ga100->{target}: no successful evaluations"));
+            continue;
+        };
+        rows.push(TransferRow {
+            source: "ga100".to_string(),
+            target: (*target).to_string(),
+            prior_samples: prior.len(),
+            cold_evals_to_best: cold_evals,
+            warm_evals_to_best: warm_evals,
+            cold_best: cold.best_value,
+            warm_best: warm.best_value,
+        });
+    }
+    let faster = rows.iter().filter(|r| r.warm_evals_to_best < r.cold_evals_to_best).count();
+    let slower = rows.iter().filter(|r| r.warm_evals_to_best > r.cold_evals_to_best).count();
+    if !rows.is_empty() && faster <= slower {
+        regressions.push(format!(
+            "transfer: warm start reduced evals-to-best on {faster} target(s) but slowed {slower}"
+        ));
+    }
+    rows
+}
+
+fn write_report(
+    out_path: &str,
+    mode: &str,
+    runs: &[DeviceRun],
+    transfers: &[TransferRow],
+    regressions: &[String],
+) {
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"pareto\",\n  \"mode\": \"{mode}\",\n  \"provenance\": {},\n  \"devices\": [\n",
+        eatss_trace::Provenance::collect(Some(1)).to_json()
+    );
+    for (i, r) in runs.iter().enumerate() {
+        let front: Vec<String> = r
+            .front
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"tiles\": [{}], \"split\": {}, \"warp_frac\": {}, \"strict_cap\": {}, \"provenance\": \"{}\", \"energy_j\": {}, \"gflops\": {}, \"ppw\": {}}}",
+                    p.tiles
+                        .iter()
+                        .map(i64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    number(p.split),
+                    number(p.warp_fraction),
+                    p.strict_cap,
+                    p.provenance,
+                    number(p.energy_j),
+                    number(p.gflops),
+                    number(p.ppw)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"device\": \"{}\", \"kernel\": \"{}\", \"points\": {}, \"infeasible\": {}, \"verified_configs\": {}, \"verified_points\": {}, \"front\": [{}]}}{}",
+            r.device,
+            r.kernel,
+            r.points,
+            r.infeasible,
+            r.verified_configs,
+            r.verified_points,
+            front.join(", "),
+            if i + 1 == runs.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"transfer\": [\n");
+    for (i, r) in transfers.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"source\": \"{}\", \"target\": \"{}\", \"prior_samples\": {}, \"cold_evals_to_best\": {}, \"warm_evals_to_best\": {}, \"cold_best_gflops\": {}, \"warm_best_gflops\": {}}}{}",
+            r.source,
+            r.target,
+            r.prior_samples,
+            r.cold_evals_to_best,
+            r.warm_evals_to_best,
+            number(r.cold_best),
+            number(r.warm_best),
+            if i + 1 == transfers.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"regressions\": [{}]\n}}\n",
+        regressions
+            .iter()
+            .map(|r| format!("\"{}\"", eatss_trace::json::escape(r)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::fs::write(out_path, &json).expect("write pareto report");
+}

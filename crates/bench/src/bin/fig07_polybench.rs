@@ -3,20 +3,44 @@
 //! tile-space statistics (median / default / best PPCG) and the EATSS
 //! point (`U`), in performance, energy and performance-per-watt; plus the
 //! paper's headline median PPW improvement.
+//!
+//! `--profiles a,b,...` replaces the GA100/Xavier pair with any builtin
+//! or on-disk device profiles (datasets chosen by SM count).
 
 use eatss::sweep::PAPER_SPLITS;
 use eatss::Eatss;
 use eatss_bench::table::fmt_f;
-use eatss_bench::{explore::summarize, explore_space, Table};
+use eatss_bench::{explore::summarize, explore_space, profiles, Table};
 use eatss_gpusim::{stats, GpuArch};
 use eatss_kernels::Dataset;
 use eatss_ppcg::TileSpace;
 
 fn main() {
-    for (arch, dataset, label) in [
-        (GpuArch::ga100(), Dataset::ExtraLarge, "7a: GA100 / EXTRALARGE"),
-        (GpuArch::xavier(), Dataset::Standard, "7b: Xavier / STANDARD"),
-    ] {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<(GpuArch, Dataset, String)> = match profiles::from_args(&args, "--profiles")
+    {
+        Some(archs) => archs
+            .into_iter()
+            .map(|arch| {
+                let dataset = profiles::dataset_for(&arch);
+                let label = format!("7: {} / {dataset:?}", arch.name);
+                (arch, dataset, label)
+            })
+            .collect(),
+        None => vec![
+            (
+                GpuArch::ga100(),
+                Dataset::ExtraLarge,
+                "7a: GA100 / EXTRALARGE".to_owned(),
+            ),
+            (
+                GpuArch::xavier(),
+                Dataset::Standard,
+                "7b: Xavier / STANDARD".to_owned(),
+            ),
+        ],
+    };
+    for (arch, dataset, label) in targets {
         println!("=== Figure {label} ===\n");
         let eatss = Eatss::new(arch.clone());
         let mut t = Table::new(vec![

@@ -2,11 +2,14 @@
 //! different splits of shared memory and L1 cache (0%, 50%, 67%, 100%),
 //! normalized to default PPCG under the same shared-memory quota.
 //! Speedup > 1 is better; normalized energy < 1 is better.
+//!
+//! `--profiles a,b,...` replaces the GA100/Xavier pair with any builtin
+//! or on-disk device profiles (datasets chosen by SM count).
 
 use eatss::{Eatss, EatssConfig};
 use eatss_affine::tiling::TileConfig;
 use eatss_bench::table::fmt_f;
-use eatss_bench::Table;
+use eatss_bench::{profiles, Table};
 use eatss_gpusim::GpuArch;
 use eatss_kernels::Dataset;
 
@@ -15,10 +18,21 @@ const BENCHMARKS: [&str; 4] = ["gemm", "2mm", "mvt", "jacobi-2d"];
 
 fn main() {
     println!("Figure 8: EATSS under shared-memory/L1 splits (vs default PPCG, same quota)\n");
-    for (arch, dataset) in [
-        (GpuArch::ga100(), Dataset::ExtraLarge),
-        (GpuArch::xavier(), Dataset::Standard),
-    ] {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<(GpuArch, Dataset)> = match profiles::from_args(&args, "--profiles") {
+        Some(archs) => archs
+            .into_iter()
+            .map(|arch| {
+                let dataset = profiles::dataset_for(&arch);
+                (arch, dataset)
+            })
+            .collect(),
+        None => vec![
+            (GpuArch::ga100(), Dataset::ExtraLarge),
+            (GpuArch::xavier(), Dataset::Standard),
+        ],
+    };
+    for (arch, dataset) in targets {
         println!("--- {} ---", arch.name);
         let eatss = Eatss::new(arch.clone());
         let mut t = Table::new(vec![

@@ -5,25 +5,43 @@
 //! {0%, 50%}. Missing configurations are infeasible (all tile sizes
 //! would need to be multiples of the full alignment factor). The paper
 //! reports up to 4.8x (conv-2d), 6.3x (heat-3d) and 2.0x (mttkrp).
+//!
+//! `--profile NAME|PATH` retargets the study from the GA100 to any
+//! builtin or on-disk device profile (dataset chosen by SM count).
 
 use eatss::{Eatss, EatssConfig};
 use eatss_affine::tiling::TileConfig;
 use eatss_bench::table::fmt_f;
-use eatss_bench::Table;
+use eatss_bench::{profiles, Table};
 use eatss_gpusim::GpuArch;
 use eatss_kernels::Dataset;
 
 fn main() {
-    let arch = GpuArch::ga100();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (arch, dataset) = match profiles::from_args(&args, "--profile") {
+        Some(mut archs) => {
+            if archs.len() != 1 {
+                eprintln!("--profile takes exactly one device");
+                std::process::exit(2);
+            }
+            let arch = archs.remove(0);
+            let dataset = profiles::dataset_for(&arch);
+            (arch, dataset)
+        }
+        None => (GpuArch::ga100(), Dataset::ExtraLarge),
+    };
     let eatss = Eatss::new(arch.clone());
-    println!("Figure 10: non-Polybench kernels on GA100 (vs default PPCG, same quota)\n");
+    println!(
+        "Figure 10: non-Polybench kernels on {} (vs default PPCG, same quota)\n",
+        arch.name
+    );
     println!(
         "note: PPCG ignores the innermost tile when depth > 3 (that \
          dimension runs untiled, the paper's overline)\n"
     );
     for b in eatss_kernels::case_study() {
         let program = b.program().expect("benchmark parses");
-        let sizes = b.sizes(Dataset::ExtraLarge);
+        let sizes = b.sizes(dataset);
         let mut t = Table::new(vec![
             "warp frac",
             "SM split",

@@ -11,6 +11,7 @@
 
 pub mod explore;
 pub mod oracle;
+pub mod profiles;
 pub mod table;
 
 pub use explore::{explore_space, BaselineSummary, Variant};

@@ -7,7 +7,9 @@
 //!
 //! options:
 //!   --kernel NAME              alias for the positional input
-//!   --arch ga100|xavier        target GPU (default: ga100)
+//!   --arch NAME|PATH           target GPU: a builtin device profile
+//!                              (ga100, xavier, h100, orin, nano) or a
+//!                              JSON/TOML profile file (default: ga100)
 //!   --split <0..1>             shared-memory split factor (default: 0.5)
 //!   --warp-frac <f>            warp fraction (default: 0.5)
 //!   --fp32                     single precision (default: FP64)
@@ -60,7 +62,7 @@ struct Options {
 fn usage() -> ExitCode {
     eatss_trace::error!(
         "usage: eatss <kernel.eatss | benchmark-name> [--kernel NAME] \
-         [--arch ga100|xavier] [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
+         [--arch NAME|PROFILE.json] [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
          [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] [--jobs N] \
          [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate] \
          [--verify] [--verify-seed N] \
@@ -117,10 +119,22 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--arch" => {
-                opts.arch = match next_value(&mut args, "--arch")?.as_str() {
-                    "ga100" => GpuArch::ga100(),
-                    "xavier" => GpuArch::xavier(),
-                    other => return Err(format!("unknown arch `{other}`")),
+                let spec = next_value(&mut args, "--arch")?;
+                // A builtin profile name, or a path to a JSON/TOML
+                // device-profile file.
+                opts.arch = match eatss_gpusim::DeviceProfile::builtin(&spec) {
+                    Some(profile) => profile.into_arch(),
+                    None if std::path::Path::new(&spec).exists() => {
+                        eatss_gpusim::DeviceProfile::load(&spec)
+                            .map_err(|e| format!("--arch {spec}: {e}"))?
+                            .into_arch()
+                    }
+                    None => {
+                        return Err(format!(
+                            "unknown arch `{spec}` (expected one of {:?} or a profile file)",
+                            eatss_gpusim::DeviceProfile::builtin_names()
+                        ))
+                    }
                 };
             }
             "--split" => {

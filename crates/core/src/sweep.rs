@@ -178,6 +178,56 @@ impl SweepOutcome {
             .filter(|p| p.report.valid && p.report.energy_j.is_finite())
             .min_by(|a, b| a.report.energy_j.total_cmp(&b.report.energy_j))
     }
+
+    /// The energy-vs-performance Pareto front: every measured point no
+    /// other point *dominates*. Point `a` dominates `b` when it uses no
+    /// more energy AND delivers no less throughput, strictly better in at
+    /// least one of the two. Invalid reports and non-finite
+    /// energy/throughput values never enter the front.
+    ///
+    /// The returned front is deterministic: sorted by ascending energy
+    /// with ties broken by descending throughput, and when two points
+    /// measure bit-identically on both axes only the first (in
+    /// [`SweepOutcome::points`] order, i.e. canonical configuration
+    /// order) is kept. Every caller — the fleet benchmarks, the serve
+    /// daemon, the journal — therefore sees the same front for the same
+    /// sweep.
+    pub fn pareto_front(&self) -> Vec<&SweepPoint> {
+        pareto_front(&self.points)
+    }
+}
+
+/// Non-dominated subset of `points` under (energy minimized, throughput
+/// maximized). See [`SweepOutcome::pareto_front`] for the exact
+/// dominance and ordering contract.
+pub fn pareto_front(points: &[SweepPoint]) -> Vec<&SweepPoint> {
+    let mut eligible: Vec<&SweepPoint> = points
+        .iter()
+        .filter(|p| {
+            p.report.valid && p.report.energy_j.is_finite() && p.report.gflops.is_finite()
+        })
+        .collect();
+    // Ascending energy, descending throughput; stable, so bit-equal
+    // measurements keep their canonical-order position and the
+    // first-occurrence rule below is well defined.
+    eligible.sort_by(|a, b| {
+        a.report
+            .energy_j
+            .total_cmp(&b.report.energy_j)
+            .then(b.report.gflops.total_cmp(&a.report.gflops))
+    });
+    // One sorted pass: a point survives iff it strictly improves on the
+    // best throughput seen so far. Anything tying or below is dominated
+    // by (or a duplicate of) an earlier point with no more energy.
+    let mut front = Vec::new();
+    let mut best_gflops = f64::NEG_INFINITY;
+    for p in eligible {
+        if p.report.gflops > best_gflops {
+            best_gflops = p.report.gflops;
+            front.push(p);
+        }
+    }
+    front
 }
 
 /// Runs the sweep with the default degradation policy.
@@ -808,6 +858,142 @@ mod tests {
         assert!(all_nan.best_by_ppw().is_none());
         assert!(all_nan.best_by_perf().is_none());
         assert!(all_nan.best_by_energy().is_none());
+    }
+
+    /// Builds a synthetic measured point with the given energy/gflops
+    /// coordinates (everything else defaulted) for Pareto tests.
+    fn synthetic_point(energy_j: f64, gflops: f64, valid: bool) -> SweepPoint {
+        let mut report = eatss_gpusim::SimReport::invalid("syn");
+        report.valid = valid;
+        report.energy_j = energy_j;
+        report.gflops = gflops;
+        SweepPoint {
+            config: EatssConfig::default(),
+            solution: EatssSolution::ppcg_default(3),
+            report,
+        }
+    }
+
+    #[test]
+    fn pareto_front_matches_brute_force_dominance() {
+        // A scatter with known structure: dominated interior points, a
+        // duplicate, and strictly-improving frontier points.
+        let coords = [
+            (10.0, 100.0),
+            (12.0, 90.0),  // dominated by (10, 100)
+            (8.0, 80.0),
+            (8.0, 80.0),   // bit-identical duplicate: first kept
+            (9.0, 80.0),   // dominated by (8, 80)
+            (5.0, 40.0),
+            (5.0, 60.0),   // dominates (5, 40)
+            (20.0, 120.0),
+            (3.0, 10.0),
+        ];
+        let points: Vec<SweepPoint> = coords
+            .iter()
+            .map(|&(e, g)| synthetic_point(e, g, true))
+            .collect();
+        let outcome = SweepOutcome {
+            points,
+            infeasible: vec![],
+            failures: vec![],
+        };
+        let front = outcome.pareto_front();
+        // Brute-force oracle: a point is on the front iff no other point
+        // dominates it (≤ energy, ≥ gflops, strict in one) and it is not
+        // a later duplicate of a kept point.
+        let expect: Vec<(f64, f64)> =
+            vec![(3.0, 10.0), (5.0, 60.0), (8.0, 80.0), (10.0, 100.0), (20.0, 120.0)];
+        let got: Vec<(f64, f64)> = front
+            .iter()
+            .map(|p| (p.report.energy_j, p.report.gflops))
+            .collect();
+        assert_eq!(got, expect);
+        for f in &front {
+            for p in &outcome.points {
+                let dominates = p.report.energy_j <= f.report.energy_j
+                    && p.report.gflops >= f.report.gflops
+                    && (p.report.energy_j < f.report.energy_j
+                        || p.report.gflops > f.report.gflops);
+                assert!(!dominates, "front point is dominated");
+            }
+        }
+        // Ordering contract: ascending energy, strictly increasing
+        // throughput along the front.
+        for w in front.windows(2) {
+            assert!(w[0].report.energy_j <= w[1].report.energy_j);
+            assert!(w[0].report.gflops < w[1].report.gflops);
+        }
+        // The duplicate pair contributed exactly one front point.
+        assert_eq!(
+            front
+                .iter()
+                .filter(|p| p.report.energy_j == 8.0 && p.report.gflops == 80.0)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn pareto_front_excludes_invalid_and_non_finite_points() {
+        let points = vec![
+            synthetic_point(10.0, 100.0, true),
+            synthetic_point(1.0, 500.0, false),     // invalid: would dominate all
+            synthetic_point(f64::NAN, 200.0, true), // NaN energy
+            synthetic_point(2.0, f64::INFINITY, true), // infinite throughput
+            synthetic_point(4.0, 50.0, true),
+        ];
+        let outcome = SweepOutcome {
+            points,
+            infeasible: vec![],
+            failures: vec![],
+        };
+        let got: Vec<(f64, f64)> = outcome
+            .pareto_front()
+            .iter()
+            .map(|p| (p.report.energy_j, p.report.gflops))
+            .collect();
+        assert_eq!(got, vec![(4.0, 50.0), (10.0, 100.0)]);
+        // An all-ineligible outcome yields an empty front, not a panic.
+        let empty = SweepOutcome {
+            points: vec![synthetic_point(f64::NAN, f64::NAN, true)],
+            infeasible: vec![],
+            failures: vec![],
+        };
+        assert!(empty.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn real_sweep_front_is_non_dominated_and_contains_the_extremes() {
+        let eatss = Eatss::new(GpuArch::ga100());
+        let sizes = ProblemSizes::new([("M", 2000), ("N", 2000), ("P", 2000)]);
+        let out = eatss.sweep(&mm(), &sizes, &PAPER_SPLITS, &[0.5]).unwrap();
+        let front = out.pareto_front();
+        assert!(!front.is_empty());
+        // The energy and throughput optima are by definition
+        // non-dominated, so both live on the front.
+        let best_e = out.best_by_energy().unwrap();
+        let best_g = out.best_by_perf().unwrap();
+        assert!(front
+            .iter()
+            .any(|p| p.report.energy_j.to_bits() == best_e.report.energy_j.to_bits()));
+        assert!(front
+            .iter()
+            .any(|p| p.report.gflops.to_bits() == best_g.report.gflops.to_bits()));
+        // No measured point dominates any front point.
+        for f in &front {
+            for p in &out.points {
+                if !p.report.valid {
+                    continue;
+                }
+                assert!(
+                    !(p.report.energy_j <= f.report.energy_j
+                        && p.report.gflops >= f.report.gflops
+                        && (p.report.energy_j < f.report.energy_j
+                            || p.report.gflops > f.report.gflops))
+                );
+            }
+        }
     }
 
     /// Structural equality of two sweep outcomes: same configurations in

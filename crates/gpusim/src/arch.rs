@@ -101,8 +101,59 @@ pub struct GpuArch {
 }
 
 impl GpuArch {
-    /// The NVIDIA GA100 (A100-40GB) server GPU of Table III.
+    /// The NVIDIA GA100 (A100-40GB) server GPU of Table III, loaded from
+    /// the committed `profiles/ga100.json` device profile (pinned
+    /// field-equal to the historical hard-wired values by test).
     pub fn ga100() -> Self {
+        crate::profile::DeviceProfile::builtin("ga100")
+            .expect("ga100 is a committed builtin profile")
+            .into_arch()
+    }
+
+    /// The NVIDIA Jetson AGX Xavier embedded GPU of Table III, loaded
+    /// from the committed `profiles/xavier.json` device profile.
+    pub fn xavier() -> Self {
+        crate::profile::DeviceProfile::builtin("xavier")
+            .expect("xavier is a committed builtin profile")
+            .into_arch()
+    }
+
+    /// Peak arithmetic throughput for the given element width (GFLOP/s):
+    /// 4 bytes → FP32, 8 bytes → FP64 (§IV-I: DP peak is a fraction of SP).
+    pub fn peak_gflops(&self, elem_bytes: u8) -> f64 {
+        if elem_bytes >= 8 {
+            self.peak_fp64_gflops
+        } else {
+            self.peak_fp32_gflops
+        }
+    }
+
+    /// Idle power floor: constant + static-base components.
+    pub fn idle_power_w(&self) -> f64 {
+        self.power.p_constant_w + self.power.p_static_base_w
+    }
+
+    /// Size of one L2 sector, bytes (NVIDIA GPUs move 32-byte sectors).
+    pub fn sector_bytes(&self) -> u64 {
+        32
+    }
+
+    /// Maximum concurrently resident blocks across the whole device for a
+    /// kernel using `threads` threads, `regs` registers/thread and
+    /// `shared` bytes of shared memory per block (ignoring grid size).
+    pub fn device_block_capacity(&self, blocks_per_sm: u32) -> u64 {
+        self.sm_count as u64 * blocks_per_sm as u64
+    }
+}
+
+/// The historical hard-wired constructors, kept verbatim so tests can pin
+/// the committed profiles field-equal to the original literal values.
+#[cfg(test)]
+pub(crate) mod legacy {
+    use super::{GpuArch, PowerCoefficients};
+
+    /// The GA100 literal exactly as it shipped before profile loading.
+    pub fn ga100() -> GpuArch {
         GpuArch {
             name: "GA100".to_owned(),
             sm_count: 108,
@@ -140,8 +191,8 @@ impl GpuArch {
         }
     }
 
-    /// The NVIDIA Jetson AGX Xavier embedded GPU of Table III.
-    pub fn xavier() -> Self {
+    /// The Xavier literal exactly as it shipped before profile loading.
+    pub fn xavier() -> GpuArch {
         GpuArch {
             name: "Xavier".to_owned(),
             sm_count: 8,
@@ -177,33 +228,6 @@ impl GpuArch {
                 e_shared_j_per_gb: 3.0e-3,
             },
         }
-    }
-
-    /// Peak arithmetic throughput for the given element width (GFLOP/s):
-    /// 4 bytes → FP32, 8 bytes → FP64 (§IV-I: DP peak is a fraction of SP).
-    pub fn peak_gflops(&self, elem_bytes: u8) -> f64 {
-        if elem_bytes >= 8 {
-            self.peak_fp64_gflops
-        } else {
-            self.peak_fp32_gflops
-        }
-    }
-
-    /// Idle power floor: constant + static-base components.
-    pub fn idle_power_w(&self) -> f64 {
-        self.power.p_constant_w + self.power.p_static_base_w
-    }
-
-    /// Size of one L2 sector, bytes (NVIDIA GPUs move 32-byte sectors).
-    pub fn sector_bytes(&self) -> u64 {
-        32
-    }
-
-    /// Maximum concurrently resident blocks across the whole device for a
-    /// kernel using `threads` threads, `regs` registers/thread and
-    /// `shared` bytes of shared memory per block (ignoring grid size).
-    pub fn device_block_capacity(&self, blocks_per_sm: u32) -> u64 {
-        self.sm_count as u64 * blocks_per_sm as u64
     }
 }
 

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod noise;
 pub mod occupancy;
 pub mod power;
+pub mod profile;
 pub mod spec;
 pub mod stats;
 pub mod timing;
@@ -74,7 +75,8 @@ pub use cache::{AccessOutcome, CacheSim, CacheStats};
 pub use fault::{FaultKind, FaultPlan, SimFault};
 pub use metrics::SimReport;
 pub use occupancy::{occupancy, Occupancy};
-pub use spec::{KernelExecSpec, RefAccess};
+pub use profile::{DeviceProfile, ProfileError};
+pub use spec::{KernelExecSpec, RefAccess, SpecError};
 pub use timing::TimingBreakdown;
 pub use traffic::{RefTrafficReport, TrafficReport};
 
@@ -177,6 +179,28 @@ impl Gpu {
     }
 
     fn simulate_clean(&self, spec: &KernelExecSpec) -> SimReport {
+        // A structurally impossible launch gets no energy number: the
+        // report is invalid, never a silently-priced fiction.
+        if let Err(err) = spec.validate() {
+            if eatss_trace::collecting() {
+                eatss_trace::counter_add("sim.invalid_specs", 1);
+                eatss_trace::instant(
+                    "sim",
+                    "invalid_spec",
+                    vec![("reason", eatss_trace::ArgValue::Str(err.to_string()))],
+                );
+            }
+            return SimReport::invalid(&spec.name);
+        }
+        // Degenerate-but-representable specs are clamped onto the
+        // consistent envelope; consistent specs pass through untouched.
+        if !spec.is_saturated() {
+            return self.simulate_stages(&spec.saturated());
+        }
+        self.simulate_stages(spec)
+    }
+
+    fn simulate_stages(&self, spec: &KernelExecSpec) -> SimReport {
         let occ = {
             let _stage = eatss_trace::span("sim", "occupancy");
             occupancy::occupancy(&self.arch, spec)
@@ -320,6 +344,40 @@ mod tests {
         let b = gpu.simulate(&gemm_like_spec(48));
         assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
         assert_eq!(a.avg_power_w.to_bits(), b.avg_power_w.to_bits());
+    }
+
+    #[test]
+    fn impossible_spec_yields_invalid_report_not_energy() {
+        let gpu = Gpu::new(GpuArch::ga100());
+        let mut spec = gemm_like_spec(32);
+        spec.grid_blocks = 0;
+        let r = gpu.simulate(&spec);
+        assert!(!r.valid, "a zero-block launch must not be priced");
+        let mut nan = gemm_like_spec(32);
+        nan.flops_total = f64::NAN;
+        assert!(!gpu.simulate(&nan).valid);
+        let mut neg = gemm_like_spec(32);
+        neg.refs[0].accesses_per_block = -1;
+        assert!(!gpu.simulate(&neg).valid);
+    }
+
+    #[test]
+    fn inconsistent_spec_is_saturated_before_pricing() {
+        let gpu = Gpu::new(GpuArch::ga100());
+        let mut spec = gemm_like_spec(32);
+        // A contiguity run longer than the whole array.
+        spec.refs[1].contiguous_x_elems = spec.refs[1].total_footprint_elems * 10;
+        let implicit = gpu.simulate(&spec);
+        let explicit = gpu.simulate(&spec.saturated());
+        assert!(implicit.valid);
+        assert_eq!(implicit.time_s.to_bits(), explicit.time_s.to_bits());
+        assert_eq!(implicit.energy_j.to_bits(), explicit.energy_j.to_bits());
+        // Consistent specs take the zero-copy path and are untouched.
+        let clean = gemm_like_spec(32);
+        assert!(clean.is_saturated());
+        let a = gpu.simulate(&clean);
+        let b = gpu.simulate(&clean.saturated());
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub struct RefAccess {
 impl RefAccess {
     /// Convenience constructor for a purely streaming reference (each
     /// block touches its own contiguous chunk exactly once) — useful for
-    /// tests and simple kernels.
+    /// tests and simple kernels. The result is saturated: a `per_block`
+    /// exceeding `total_elems` clamps the footprints to the array size
+    /// (the extra accesses are repeats, not new elements).
     pub fn streaming(name: &str, total_elems: i64, per_block: i64, coalesced: bool) -> Self {
         RefAccess {
             name: name.to_owned(),
@@ -55,18 +57,80 @@ impl RefAccess {
             varies_block_y: true,
             is_write: false,
         }
+        .saturated()
     }
 
     /// Dynamic accesses per element of block footprint (the reuse factor
-    /// the block extracts from on-chip memories).
+    /// the block extracts from on-chip memories). Degenerate (zero or
+    /// negative) footprints extract no reuse.
     pub fn reuse_factor(&self) -> f64 {
-        if self.block_footprint_elems == 0 {
+        if self.block_footprint_elems <= 0 {
             0.0
         } else {
             self.accesses_per_block as f64 / self.block_footprint_elems as f64
         }
     }
+
+    /// Rejects references no consistent kernel can produce: negative
+    /// footprints, access counts or contiguity runs.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first negative field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (field, v) in [
+            ("tile_footprint_elems", self.tile_footprint_elems),
+            ("block_footprint_elems", self.block_footprint_elems),
+            ("total_footprint_elems", self.total_footprint_elems),
+            ("accesses_per_block", self.accesses_per_block),
+            ("contiguous_x_elems", self.contiguous_x_elems),
+        ] {
+            if v < 0 {
+                return Err(format!("reference `{}`: {field} is negative ({v})", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether [`RefAccess::saturated`] would change nothing.
+    pub fn is_saturated(&self) -> bool {
+        self.block_footprint_elems <= self.total_footprint_elems
+            && self.tile_footprint_elems <= self.block_footprint_elems
+            && self.contiguous_x_elems <= self.total_footprint_elems.max(1)
+    }
+
+    /// Restores the footprint containment chain a real kernel obeys:
+    /// a block cannot touch more distinct elements than the whole kernel,
+    /// one serial step cannot touch more than the block's lifetime, and a
+    /// contiguous run cannot outrun the array. Access *counts* are left
+    /// alone — re-touching an element is repetition, not new footprint.
+    pub fn saturated(&self) -> RefAccess {
+        let mut r = self.clone();
+        r.block_footprint_elems = r.block_footprint_elems.min(r.total_footprint_elems);
+        r.tile_footprint_elems = r.tile_footprint_elems.min(r.block_footprint_elems);
+        r.contiguous_x_elems = r.contiguous_x_elems.min(r.total_footprint_elems.max(1));
+        r
+    }
 }
+
+/// A [`KernelExecSpec`] the simulator refuses to price: the launch
+/// geometry or a reference is structurally impossible (not merely
+/// un-saturated), so any energy number would be fiction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// The offending kernel's name.
+    pub kernel: String,
+    /// What is inconsistent.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inconsistent spec for `{}`: {}", self.kernel, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// Everything the simulator needs to know about one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +191,75 @@ impl KernelExecSpec {
     /// Total dynamic threads of the launch.
     pub fn total_threads(&self) -> i64 {
         self.grid_blocks.saturating_mul(self.threads_per_block)
+    }
+
+    /// Rejects launches no driver would accept: non-positive grids or
+    /// blocks, negative work, non-finite flops, zero-width elements, or a
+    /// reference with negative counts. Degenerate-but-representable specs
+    /// (footprint ordering violations) are *not* errors — they are
+    /// repaired by [`KernelExecSpec::saturated`] instead.
+    ///
+    /// # Errors
+    ///
+    /// A [`SpecError`] naming the first violated rule.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let fail = |message: String| {
+            Err(SpecError {
+                kernel: self.name.clone(),
+                message,
+            })
+        };
+        for (field, v) in [
+            ("grid_blocks", self.grid_blocks),
+            ("grid_x_blocks", self.grid_x_blocks),
+            ("threads_per_block", self.threads_per_block),
+        ] {
+            if v <= 0 {
+                return fail(format!("{field} must be positive (got {v})"));
+            }
+        }
+        for (field, v) in [
+            ("points_per_thread", self.points_per_thread),
+            ("serial_steps_per_block", self.serial_steps_per_block),
+        ] {
+            if v < 0 {
+                return fail(format!("{field} is negative ({v})"));
+            }
+        }
+        if !self.flops_total.is_finite() || self.flops_total < 0.0 {
+            return fail(format!(
+                "flops_total must be finite and non-negative (got {})",
+                self.flops_total
+            ));
+        }
+        if self.elem_bytes == 0 {
+            return fail("elem_bytes must be positive".to_owned());
+        }
+        for r in &self.refs {
+            if let Err(message) = r.validate() {
+                return fail(message);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether [`KernelExecSpec::saturated`] would change nothing.
+    pub fn is_saturated(&self) -> bool {
+        self.grid_x_blocks <= self.grid_blocks && self.refs.iter().all(RefAccess::is_saturated)
+    }
+
+    /// Clamps the spec onto the consistent envelope: the x-extent of the
+    /// grid cannot exceed the grid, and every reference obeys the
+    /// footprint containment chain (see [`RefAccess::saturated`]).
+    pub fn saturated(&self) -> KernelExecSpec {
+        let mut s = self.clone();
+        s.grid_x_blocks = s.grid_x_blocks.min(s.grid_blocks);
+        for r in &mut s.refs {
+            if !r.is_saturated() {
+                *r = r.saturated();
+            }
+        }
+        s
     }
 
     /// A stable 64-bit fingerprint of the launch (noise seeding).
@@ -222,6 +355,98 @@ mod tests {
         let mut r = RefAccess::streaming("x", 0, 0, true);
         r.block_footprint_elems = 0;
         assert_eq!(r.reuse_factor(), 0.0);
+        // Negative footprints (representable but meaningless) extract
+        // no reuse either, instead of a negative factor.
+        r.block_footprint_elems = -5;
+        assert_eq!(r.reuse_factor(), 0.0);
+    }
+
+    #[test]
+    fn streaming_saturates_oversized_blocks() {
+        // A block "touching" 256 elements of a 100-element array touches
+        // 100 distinct elements 256 times.
+        let r = RefAccess::streaming("x", 100, 256, true);
+        assert_eq!(r.total_footprint_elems, 100);
+        assert_eq!(r.block_footprint_elems, 100);
+        assert_eq!(r.tile_footprint_elems, 100);
+        assert_eq!(r.contiguous_x_elems, 100);
+        assert_eq!(r.accesses_per_block, 256, "accesses are repeats, kept");
+        assert!((r.reuse_factor() - 2.56).abs() < 1e-12);
+        assert!(r.is_saturated());
+    }
+
+    #[test]
+    fn ref_validate_rejects_negative_counts() {
+        let good = RefAccess::streaming("x", 1000, 100, true);
+        assert_eq!(good.validate(), Ok(()));
+        for mutate in [
+            |r: &mut RefAccess| r.tile_footprint_elems = -1,
+            |r: &mut RefAccess| r.block_footprint_elems = -1,
+            |r: &mut RefAccess| r.total_footprint_elems = -1,
+            |r: &mut RefAccess| r.accesses_per_block = -1,
+            |r: &mut RefAccess| r.contiguous_x_elems = -1,
+        ] {
+            let mut r = good.clone();
+            mutate(&mut r);
+            assert!(r.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn saturation_restores_containment_chain() {
+        let mut r = RefAccess::streaming("x", 1000, 100, true);
+        r.tile_footprint_elems = 5000;
+        r.block_footprint_elems = 2000;
+        r.contiguous_x_elems = 9999;
+        assert!(!r.is_saturated());
+        let s = r.saturated();
+        assert_eq!(s.block_footprint_elems, 1000);
+        assert_eq!(s.tile_footprint_elems, 1000);
+        assert_eq!(s.contiguous_x_elems, 1000);
+        assert!(s.is_saturated());
+        // Saturation is idempotent.
+        assert_eq!(s.saturated(), s);
+    }
+
+    #[test]
+    fn spec_validate_rejects_impossible_launches() {
+        let good = small_spec();
+        assert!(good.validate().is_ok());
+        type Case = (&'static str, Box<dyn Fn(&mut KernelExecSpec)>);
+        let cases: Vec<Case> = vec![
+            ("zero grid", Box::new(|s| s.grid_blocks = 0)),
+            ("negative grid x", Box::new(|s| s.grid_x_blocks = -1)),
+            ("zero threads", Box::new(|s| s.threads_per_block = 0)),
+            ("negative points", Box::new(|s| s.points_per_thread = -1)),
+            ("negative steps", Box::new(|s| s.serial_steps_per_block = -2)),
+            ("nan flops", Box::new(|s| s.flops_total = f64::NAN)),
+            ("negative flops", Box::new(|s| s.flops_total = -1.0)),
+            ("zero-width elems", Box::new(|s| s.elem_bytes = 0)),
+            (
+                "negative ref field",
+                Box::new(|s| s.refs[0].accesses_per_block = -7),
+            ),
+        ];
+        for (what, mutate) in cases {
+            let mut s = good.clone();
+            mutate(&mut s);
+            let err = s.validate().expect_err(what);
+            assert_eq!(err.kernel, "t");
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn spec_saturation_clamps_grid_x_and_refs() {
+        let mut s = small_spec();
+        s.grid_x_blocks = 64; // > grid_blocks = 10
+        s.refs[0].contiguous_x_elems = 1_000_000;
+        assert!(!s.is_saturated());
+        let sat = s.saturated();
+        assert_eq!(sat.grid_x_blocks, 10);
+        assert_eq!(sat.refs[0].contiguous_x_elems, 1000);
+        assert!(sat.is_saturated());
+        assert!(small_spec().is_saturated());
     }
 
     #[test]

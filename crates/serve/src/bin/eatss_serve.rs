@@ -5,7 +5,7 @@
 //! `shutdown` op, then drains gracefully and prints a final stats line.
 
 use eatss::SyncPolicy;
-use eatss_gpusim::{FaultPlan, GpuArch};
+use eatss_gpusim::FaultPlan;
 use eatss_serve::server::{start, Endpoint, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,7 +26,8 @@ OPTIONS:
   --deadline-ms N        default per-request solve deadline (default 2000)
   --max-deadline-ms N    upper clamp for requested deadlines (default 30000)
   --read-timeout-ms N    mid-frame stall budget (default 5000)
-  --arch NAME            default architecture: ga100 | xavier (default ga100)
+  --arch NAME|PATH       default device: a builtin profile (ga100, xavier,
+                         h100, orin, nano) or a profile file (default ga100)
   --shards N             journal shard count (default 8)
   --no-sync              journal without per-append fsync (faster, test-only)
   --access-log PATH      append one JSON line per request to PATH
@@ -81,14 +82,28 @@ fn main() -> ExitCode {
                     parse_num(&next_value(&mut args, "--read-timeout-ms")) as u64,
                 )
             }
-            "--arch" => match next_value(&mut args, "--arch").as_str() {
-                "ga100" => config.default_arch = GpuArch::ga100(),
-                "xavier" => config.default_arch = GpuArch::xavier(),
-                other => {
-                    eprintln!("error: unknown arch '{other}'");
-                    return ExitCode::from(2);
-                }
-            },
+            "--arch" => {
+                let spec = next_value(&mut args, "--arch");
+                config.default_arch = match eatss_gpusim::DeviceProfile::builtin(&spec) {
+                    Some(profile) => profile.into_arch(),
+                    None if std::path::Path::new(&spec).exists() => {
+                        match eatss_gpusim::DeviceProfile::load(&spec) {
+                            Ok(profile) => profile.into_arch(),
+                            Err(e) => {
+                                eprintln!("error: --arch {spec}: {e}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    None => {
+                        eprintln!(
+                            "error: unknown arch '{spec}' (expected one of {:?} or a profile file)",
+                            eatss_gpusim::DeviceProfile::builtin_names()
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--shards" => {
                 config.journal.shards = parse_num(&next_value(&mut args, "--shards")) as u32
             }

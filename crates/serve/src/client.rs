@@ -230,8 +230,11 @@ pub struct SelectArgs {
     pub fp32: bool,
     /// Strict thread-block cap.
     pub strict_cap: bool,
-    /// Architecture name.
+    /// Device profile name (rendered as the `device` wire field).
     pub arch: Option<String>,
+    /// Ask for the configuration sweep's Pareto front
+    /// (`{"op":"pareto"}`) instead of a single selection.
+    pub pareto: bool,
     /// Per-request deadline.
     pub deadline_ms: Option<u64>,
     /// Also measure the selection.
@@ -253,7 +256,8 @@ impl SelectArgs {
 
     /// Renders the request line.
     pub fn to_line(&self) -> String {
-        let mut fields: Vec<(&str, String)> = vec![("op", str_field("select"))];
+        let op = if self.pareto { "pareto" } else { "select" };
+        let mut fields: Vec<(&str, String)> = vec![("op", str_field(op))];
         if let Some(id) = &self.id {
             fields.push(("id", str_field(id)));
         }
@@ -282,7 +286,7 @@ impl SelectArgs {
             fields.push(("strict_cap", "true".to_string()));
         }
         if let Some(a) = &self.arch {
-            fields.push(("arch", str_field(a)));
+            fields.push(("device", str_field(a)));
         }
         if let Some(ms) = self.deadline_ms {
             fields.push(("deadline_ms", ms.to_string()));

@@ -119,6 +119,9 @@ impl std::error::Error for ProtocolError {}
 pub enum Op {
     /// Solve (or serve from cache) a tile selection.
     Select,
+    /// Sweep the paper's configuration grid on the requested device and
+    /// return the energy-vs-performance Pareto front.
+    Pareto,
     /// Liveness probe.
     Ping,
     /// Server + cache counters.
@@ -176,7 +179,10 @@ pub struct SelectRequest {
     pub fp32: bool,
     /// Strict thread-block cap.
     pub strict_cap: bool,
-    /// Target architecture name (`ga100` default, or `xavier`).
+    /// Target device: any built-in profile name
+    /// (`eatss_gpusim::DeviceProfile::builtin_names`); `ga100` when
+    /// absent. Wire field `device`, with `arch` kept as an alias for
+    /// older clients.
     pub arch: Option<String>,
     /// Per-request solve deadline in milliseconds (clamped server-side).
     pub deadline_ms: Option<u64>,
@@ -247,6 +253,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 
     let op = match obj.get("op").and_then(Json::as_str).unwrap_or("select") {
         "select" => Op::Select,
+        "pareto" => Op::Pareto,
         "ping" => Op::Ping,
         "stats" => Op::Stats,
         "metrics" => Op::Metrics,
@@ -256,7 +263,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         other => return Err(ProtocolError::UnknownOp(other.to_string())),
     };
 
-    let select = if op == Op::Select {
+    // A pareto request is a select request measured across the whole
+    // configuration grid, so it shares the select payload (the per-point
+    // split/warp knobs are simply ignored by the sweep).
+    let select = if op == Op::Select || op == Op::Pareto {
         Some(parse_select(&value)?)
     } else {
         None
@@ -374,7 +384,12 @@ fn parse_select(value: &Json) -> Result<SelectRequest, ProtocolError> {
         warp_fraction,
         fp32: opt_bool(value, "fp32")?.unwrap_or(false),
         strict_cap: opt_bool(value, "strict_cap")?.unwrap_or(false),
-        arch: opt_str(value, "arch")?,
+        // `device` is the canonical spelling; `arch` survives as an
+        // alias so pre-portfolio clients keep working.
+        arch: match opt_str(value, "device")? {
+            Some(device) => Some(device),
+            None => opt_str(value, "arch")?,
+        },
         deadline_ms,
         evaluate: opt_bool(value, "evaluate")?.unwrap_or(false),
         verify: opt_bool(value, "verify")?.unwrap_or(false),
@@ -551,6 +566,38 @@ mod tests {
         let cfg = s.eatss_config();
         assert_eq!(cfg.split_factor, 0.67);
         assert_eq!(cfg.precision, Precision::F32);
+    }
+
+    #[test]
+    fn device_field_parses_and_aliases_arch() {
+        let r = parse_request(r#"{"kernel": "gemm", "device": "orin"}"#).unwrap();
+        assert_eq!(r.select.unwrap().arch.as_deref(), Some("orin"));
+        // Legacy spelling still works …
+        let r = parse_request(r#"{"kernel": "gemm", "arch": "xavier"}"#).unwrap();
+        assert_eq!(r.select.unwrap().arch.as_deref(), Some("xavier"));
+        // … and the canonical one wins when both are present.
+        let r =
+            parse_request(r#"{"kernel": "gemm", "device": "h100", "arch": "xavier"}"#).unwrap();
+        assert_eq!(r.select.unwrap().arch.as_deref(), Some("h100"));
+        assert!(matches!(
+            parse_request(r#"{"kernel": "gemm", "device": 3}"#),
+            Err(ProtocolError::BadField { field: "device", .. })
+        ));
+    }
+
+    #[test]
+    fn pareto_op_carries_a_select_payload() {
+        let r = parse_request(r#"{"op": "pareto", "kernel": "gemm", "device": "nano"}"#).unwrap();
+        assert_eq!(r.op, Op::Pareto);
+        let s = r.select.expect("pareto reuses the select payload");
+        assert_eq!(s.kernel.as_deref(), Some("gemm"));
+        assert_eq!(s.arch.as_deref(), Some("nano"));
+        // Same shape validation as select: a kernel (or source) is
+        // mandatory.
+        assert!(matches!(
+            parse_request(r#"{"op": "pareto"}"#),
+            Err(ProtocolError::MissingField("kernel"))
+        ));
     }
 
     #[test]

@@ -207,7 +207,7 @@ impl Counters {
 /// One admitted unit of solver work.
 struct Job {
     /// Coalescing key: cache key ‖ evaluate flag ‖ verify flag ‖ chaos
-    /// marker.
+    /// marker (‖ a trailing op marker byte for pareto jobs).
     coalesce_key: Vec<u8>,
     /// Pure structural cache key.
     cache_key: Vec<u8>,
@@ -218,6 +218,9 @@ struct Job {
     deadline: Duration,
     evaluate: bool,
     verify: bool,
+    /// Run the §V-B/§V-D configuration sweep and answer with the
+    /// energy-vs-performance Pareto front instead of a single selection.
+    pareto: bool,
     chaos: Option<String>,
     lane: u64,
     /// When admission enqueued the job (queue-wait measurement).
@@ -240,7 +243,44 @@ enum Outcome {
         /// Worker time for the job (0 on the fast path).
         solve_us: u64,
     },
+    Pareto {
+        result: Result<ParetoReport, String>,
+        queue_us: u64,
+        solve_us: u64,
+    },
     Panicked(String),
+}
+
+/// The answer to an `{"op":"pareto"}` request: the device-scoped
+/// non-dominated front plus sweep bookkeeping.
+#[derive(Debug, Clone)]
+struct ParetoReport {
+    /// Device profile the sweep ran on.
+    device: String,
+    /// Non-dominated points, ascending energy / descending throughput
+    /// (the deterministic order of [`eatss::pareto_front`]).
+    front: Vec<ParetoEntry>,
+    /// Measured sweep points overall (front ⊆ points).
+    points: usize,
+    /// Configurations recorded infeasible (measured via fallback).
+    infeasible: usize,
+    /// Batched-oracle verdict over every front configuration
+    /// (`verify: true` requests only).
+    verify: Option<Result<VerifySummary, String>>,
+}
+
+/// One point of a [`ParetoReport`] front.
+#[derive(Debug, Clone)]
+struct ParetoEntry {
+    tiles: Vec<i64>,
+    split: f64,
+    warp_fraction: f64,
+    strict_cap: bool,
+    provenance: String,
+    energy_j: f64,
+    gflops: f64,
+    ppw: f64,
+    time_ms: f64,
 }
 
 /// What a clean `verify: true` pass covered (batched oracle).
@@ -854,7 +894,11 @@ fn handle_line(shared: &Arc<Shared>, stream: &mut Stream, line: &str) -> bool {
         }
         Op::Select => {
             let select = request.select.expect("select op carries a payload");
-            handle_select(shared, stream, &id, &select)
+            handle_select(shared, stream, &id, &select, false)
+        }
+        Op::Pareto => {
+            let select = request.select.expect("pareto op carries a payload");
+            handle_select(shared, stream, &id, &select, true)
         }
     }
 }
@@ -989,6 +1033,7 @@ fn handle_select(
     stream: &mut Stream,
     id: &Option<String>,
     select: &SelectRequest,
+    pareto: bool,
 ) -> bool {
     let started = Instant::now();
     let lane = eatss_trace::alloc_lane();
@@ -996,7 +1041,7 @@ fn handle_select(
     let mut summary = SelectSummary::default();
     let keep = {
         let _lane = lane_scope(lane);
-        handle_select_inner(shared, stream, id, select, started, lane, &mut summary)
+        handle_select_inner(shared, stream, id, select, pareto, started, lane, &mut summary)
     };
     let dur_us = started.elapsed().as_micros() as u64;
     shared.hist.request_us.record(dur_us);
@@ -1021,13 +1066,13 @@ fn handle_select(
         dur_us,
         events,
     });
-    let mut fields = vec![("op", str_field("select"))];
+    let mut fields = vec![("op", str_field(if pareto { "pareto" } else { "select" }))];
     if let Some(id) = id {
         fields.push(("id", str_field(id)));
     }
     fields.push(("kernel", str_field(&kernel)));
     fields.push((
-        "arch",
+        "device",
         str_field(select.arch.as_deref().unwrap_or(&shared.config.default_arch.name)),
     ));
     fields.push(("deadline_ms", summary.deadline_ms.to_string()));
@@ -1042,11 +1087,13 @@ fn handle_select(
     keep
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_select_inner(
     shared: &Arc<Shared>,
     stream: &mut Stream,
     id: &Option<String>,
     select: &SelectRequest,
+    pareto: bool,
     started: Instant,
     lane: u64,
     summary: &mut SelectSummary,
@@ -1079,8 +1126,10 @@ fn handle_select_inner(
 
     // Fast path: answer cache hits without touching the queue. Evaluate
     // runs inline off the cached solution (compile + simulate, no
-    // solver).
-    if chaos.is_none() {
+    // solver). Pareto requests span many configurations, so one cached
+    // selection cannot answer them — they always go through the queue
+    // (their per-config solves still hit the cache worker-side).
+    if chaos.is_none() && !pareto {
         let cached = shared.cache.lock().unwrap().lookup_key(&cache_key);
         if let Some(result) = cached {
             let eval = if select.evaluate {
@@ -1120,6 +1169,13 @@ fn handle_select_inner(
     if let Some(c) = &chaos {
         coalesce_key.extend_from_slice(c.as_bytes());
     }
+    if pareto {
+        // Op marker: a pareto request must never coalesce with a select
+        // of the same configuration (the outcomes have different shapes).
+        // Select keys are unchanged, so journaled/legacy behaviour is
+        // untouched.
+        coalesce_key.push(0xEA);
+    }
     let job = Job {
         coalesce_key,
         cache_key,
@@ -1130,6 +1186,7 @@ fn handle_select_inner(
         deadline,
         evaluate: select.evaluate,
         verify: select.verify,
+        pareto,
         chaos,
         lane,
         admitted_at: Instant::now(),
@@ -1181,16 +1238,19 @@ fn resolve_request(
     shared: &Arc<Shared>,
     select: &SelectRequest,
 ) -> Result<(Program, ProblemSizes, GpuArch), ProtocolError> {
+    // Any built-in device profile is addressable; the registry is the
+    // single source of device truth (`crates/gpusim/profiles/`).
     let arch = match select.arch.as_deref() {
         None => shared.config.default_arch.clone(),
-        Some("ga100") => GpuArch::ga100(),
-        Some("xavier") => GpuArch::xavier(),
-        Some(_) => {
-            return Err(ProtocolError::BadField {
-                field: "arch",
-                expected: "\"ga100\" or \"xavier\"",
-            })
-        }
+        Some(name) => match eatss_gpusim::DeviceProfile::builtin(name) {
+            Some(profile) => profile.into_arch(),
+            None => {
+                return Err(ProtocolError::BadField {
+                    field: "device",
+                    expected: "a built-in device profile (\"ga100\", \"xavier\", \"h100\", \"orin\" or \"nano\")",
+                })
+            }
+        },
     };
 
     if let Some(name) = &select.kernel {
@@ -1269,12 +1329,17 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let worker_us = solve_started.elapsed().as_micros() as u64;
         shared.hist.solve_us.record(worker_us);
-        if let Outcome::Done {
-            queue_us, solve_us, ..
-        } = &mut outcome
-        {
-            *queue_us = queue_wait_us;
-            *solve_us = worker_us;
+        match &mut outcome {
+            Outcome::Done {
+                queue_us, solve_us, ..
+            }
+            | Outcome::Pareto {
+                queue_us, solve_us, ..
+            } => {
+                *queue_us = queue_wait_us;
+                *solve_us = worker_us;
+            }
+            Outcome::Panicked(_) => {}
         }
 
         // Durability before visibility: journal committed results before
@@ -1405,6 +1470,10 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
         }
     }
 
+    if job.pareto {
+        return run_pareto(shared, job);
+    }
+
     // A racing identical request may have committed between this job's
     // admission (cache miss) and now; serve the committed entry.
     if let Some(result) = shared.cache.lock().unwrap().lookup_key(&job.cache_key) {
@@ -1492,6 +1561,138 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Outcome {
         queue_us: 0,
         solve_us: 0,
     }
+}
+
+/// Answers an `{"op":"pareto"}` job: sweeps the §V-B splits at the
+/// requested warp fraction (both thread-block cap readings, default
+/// precision) on the requested device, journals every fully-solved
+/// configuration under its own structural cache key — so later `select`
+/// requests for those configurations are warm, and the front survives
+/// `kill -9` exactly like single selections — and returns the
+/// non-dominated energy-vs-performance front.
+fn run_pareto(shared: &Arc<Shared>, job: &Job) -> Outcome {
+    let mut sp = span("serve", "pareto");
+    sp.arg("device", job.arch.name.clone());
+    let eatss = Eatss::new(job.arch.clone());
+    // One rung, the job's deadline per configuration: the daemon's
+    // latency contract is per-request, not per-campaign — a point that
+    // exhausts its slice degrades to the measured 32^d fallback instead
+    // of stalling the worker.
+    let options = eatss::SweepOptions {
+        attempts: vec![eatss::SolveAttempt {
+            node_limit: 2_000_000,
+            deadline: Some(job.deadline),
+            coarsen: false,
+        }],
+        fallback_to_default: true,
+        jobs: 1,
+        warm_start: true,
+    };
+    let outcome = match eatss::sweep::run_with(
+        &eatss,
+        &job.program,
+        &job.sizes,
+        &eatss::sweep::PAPER_SPLITS,
+        &[job.cfg.warp_fraction],
+        &options,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            return Outcome::Pareto {
+                result: Err(e.to_string()),
+                queue_us: 0,
+                solve_us: 0,
+            }
+        }
+    };
+
+    // Durability before visibility, per configuration: journal each
+    // fully-solved point before any waiter hears about the front.
+    {
+        let mut cache = shared.cache.lock().unwrap();
+        for point in &outcome.points {
+            if point.solution.provenance == SolutionProvenance::Solved {
+                let key = encode_key(&job.arch, &job.program, &job.sizes, &point.config);
+                let _ = cache.insert_key(key, Ok(point.solution.clone()));
+            }
+        }
+    }
+    maybe_auto_compact(shared);
+
+    let front_points = outcome.pareto_front();
+    let verify = if job.verify {
+        Some(run_verify_front(&job.arch, &job.program, &front_points, &job.sizes))
+    } else {
+        None
+    };
+    let front = front_points
+        .iter()
+        .map(|p| ParetoEntry {
+            tiles: p.solution.tiles.sizes().to_vec(),
+            split: p.config.split_factor,
+            warp_fraction: p.config.warp_fraction,
+            strict_cap: p.config.cap == eatss::ThreadBlockCap::Strict,
+            provenance: p.solution.provenance.to_string(),
+            energy_j: p.report.energy_j,
+            gflops: p.report.gflops,
+            ppw: p.report.ppw,
+            time_ms: p.report.time_s * 1000.0,
+        })
+        .collect();
+    Outcome::Pareto {
+        result: Ok(ParetoReport {
+            device: job.arch.name.clone(),
+            front,
+            points: outcome.points.len(),
+            infeasible: outcome.infeasible.len(),
+            verify,
+        }),
+        queue_us: 0,
+        solve_us: 0,
+    }
+}
+
+/// Verifies every front point's tiles bitwise against the reference
+/// interpreter in one batched oracle call (same shrink rule and seed as
+/// `verify: true` selections). Unlike [`run_verify`], every config here
+/// is a real answer the daemon is returning, so all of them must map and
+/// agree.
+fn run_verify_front(
+    arch: &GpuArch,
+    program: &Program,
+    front: &[&eatss::SweepPoint],
+    sizes: &ProblemSizes,
+) -> Result<VerifySummary, String> {
+    if front.is_empty() {
+        return Ok(VerifySummary {
+            configs: 0,
+            points: 0,
+        });
+    }
+    let shrunk = verify_sizes(program, sizes, VERIFY_SPACE_CAP, VERIFY_TIME_CAP);
+    let configs: Vec<_> = front.iter().map(|p| p.solution.tiles.clone()).collect();
+    let verdicts = eatss_ppcg::verify_batch(
+        program,
+        &configs,
+        arch,
+        &shrunk,
+        &eatss_ppcg::OracleOptions::default(),
+        VERIFY_SEED,
+    );
+    let mut summary = VerifySummary {
+        configs: 0,
+        points: 0,
+    };
+    for verdict in verdicts {
+        match verdict {
+            Ok(report) => {
+                summary.configs += 1;
+                summary.points += report.points;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(summary)
 }
 
 fn run_eval(
@@ -1596,6 +1797,26 @@ fn write_outcome(
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
             summary.outcome = "error";
             error_fields_opt(id, "worker_panic", message)
+        }
+        Outcome::Pareto {
+            result,
+            queue_us,
+            solve_us,
+        } => {
+            summary.queue_us = *queue_us;
+            summary.solve_us = *solve_us;
+            match result {
+                Ok(report) => {
+                    shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+                    summary.outcome = "ok";
+                    pareto_fields(shared, id, report, cache_tag, started)
+                }
+                Err(message) => {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    summary.outcome = "error";
+                    error_fields_opt(id, "pareto", message)
+                }
+            }
         }
         Outcome::Done {
             result,
@@ -1718,6 +1939,79 @@ fn write_outcome(
         }
     };
     write_line(stream, &line)
+}
+
+/// Renders an ok pareto response: the device, the front as an ordered
+/// JSON array, and the sweep's bookkeeping counts.
+fn pareto_fields(
+    shared: &Arc<Shared>,
+    id: Option<&str>,
+    report: &ParetoReport,
+    cache_tag: &str,
+    started: Instant,
+) -> String {
+    let front: Vec<String> = report
+        .front
+        .iter()
+        .map(|e| {
+            object_line(&[
+                (
+                    "tiles",
+                    format!(
+                        "[{}]",
+                        e.tiles
+                            .iter()
+                            .map(i64::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                ),
+                ("split", number(e.split)),
+                ("warp_frac", number(e.warp_fraction)),
+                ("strict_cap", e.strict_cap.to_string()),
+                ("provenance", str_field(&e.provenance)),
+                ("energy_j", number(e.energy_j)),
+                ("gflops", number(e.gflops)),
+                ("ppw", number(e.ppw)),
+                ("time_ms", number(e.time_ms)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("status", str_field("ok")),
+        ("device", str_field(&report.device)),
+        ("front", format!("[{}]", front.join(","))),
+        ("points", report.points.to_string()),
+        ("infeasible", report.infeasible.to_string()),
+        ("cache", str_field(cache_tag)),
+        (
+            "latency_ms",
+            number(started.elapsed().as_secs_f64() * 1000.0),
+        ),
+    ];
+    match &report.verify {
+        Some(Ok(summary)) => {
+            shared.counters.verified.fetch_add(1, Ordering::Relaxed);
+            fields.push((
+                "verify",
+                object_line(&[
+                    ("configs", summary.configs.to_string()),
+                    ("points", summary.points.to_string()),
+                ]),
+            ));
+        }
+        Some(Err(message)) => {
+            fields.push((
+                "verify_error",
+                object_line(&[
+                    ("kind", str_field("oracle")),
+                    ("message", str_field(message)),
+                ]),
+            ));
+        }
+        None => {}
+    }
+    with_id_opt(id, fields)
 }
 
 fn stats_response(shared: &Arc<Shared>, id: &Option<String>) -> String {

@@ -412,3 +412,118 @@ fn stats_op_reports_counters() {
     assert!(server.get("requests").and_then(Json::as_f64).unwrap() >= 3.0);
     handle.shutdown();
 }
+
+#[test]
+fn pareto_op_returns_front_and_journals_solved_configs() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("gemm");
+    args.n = Some(1024);
+    args.pareto = true;
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "ok");
+    assert_eq!(reply.get("device").and_then(Json::as_str), Some("GA100"));
+    let front: Vec<Json> = reply
+        .get("front")
+        .and_then(Json::as_array)
+        .expect("front array")
+        .to_vec();
+    assert!(!front.is_empty(), "a measurable sweep has a front");
+    let points = reply.get("points").and_then(Json::as_f64).unwrap();
+    assert!(front.len() as f64 <= points);
+    // Deterministic ordering: ascending energy, strictly increasing
+    // throughput — which also proves no front point dominates another.
+    let coords: Vec<(f64, f64)> = front
+        .iter()
+        .map(|e| {
+            (
+                e.get("energy_j").and_then(Json::as_f64).unwrap(),
+                e.get("gflops").and_then(Json::as_f64).unwrap(),
+            )
+        })
+        .collect();
+    for pair in coords.windows(2) {
+        assert!(pair[0].0 <= pair[1].0, "front not sorted by energy");
+        assert!(pair[0].1 < pair[1].1, "front throughput not increasing");
+    }
+
+    // The worker journaled each fully-solved configuration under its own
+    // structural key: selecting one of them is a cache hit, not a solve.
+    let solved = front
+        .iter()
+        .find(|e| e.get("provenance").and_then(Json::as_str) == Some("solved"))
+        .expect("at least one solved front point");
+    let mut select = SelectArgs::kernel("gemm");
+    select.n = Some(1024);
+    select.split = solved.get("split").and_then(Json::as_f64);
+    select.warp_frac = solved.get("warp_frac").and_then(Json::as_f64);
+    select.strict_cap = matches!(solved.get("strict_cap"), Some(Json::Bool(true)));
+    let hit = client.select(&select).unwrap();
+    assert_eq!(status(&hit), "ok");
+    assert_eq!(hit.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(
+        format!("{:?}", hit.get("tiles").unwrap()),
+        format!("{:?}", solved.get("tiles").unwrap()),
+        "cached selection and front point disagree"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn pareto_verify_runs_batched_oracle_over_the_front() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    let mut args = SelectArgs::kernel("mvt");
+    args.n = Some(700);
+    args.pareto = true;
+    args.verify = true;
+    let reply = client.select(&args).unwrap();
+    assert_eq!(status(&reply), "ok");
+    let front_len = reply
+        .get("front")
+        .and_then(Json::as_array)
+        .expect("front array")
+        .len();
+    let verify = reply.get("verify").expect("verify section in response");
+    assert_eq!(
+        verify.get("configs").and_then(Json::as_f64),
+        Some(front_len as f64),
+        "every front point goes through the oracle"
+    );
+    assert!(verify.get("points").and_then(Json::as_f64).unwrap() > 0.0);
+    handle.shutdown();
+}
+
+#[test]
+fn device_field_scopes_requests_and_rejects_unknown_names() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+    // Every built-in profile answers.
+    for device in ["ga100", "xavier", "h100", "orin", "nano"] {
+        let mut args = SelectArgs::kernel("gemm");
+        args.n = Some(512);
+        args.arch = Some(device.to_string());
+        let reply = client.select(&args).unwrap();
+        assert!(
+            status(&reply) == "ok" || status(&reply) == "infeasible",
+            "device {device} failed: {reply:?}"
+        );
+    }
+    // Different devices are different cache keys: ga100 and xavier
+    // selections above were both misses, never cross-hits.
+    let stats = handle.cache_stats();
+    assert_eq!(stats.hits, 0);
+    // An unknown device is a typed protocol error naming the field.
+    let reply = client
+        .request_line(r#"{"kernel": "gemm", "device": "tpu9"}"#)
+        .unwrap();
+    assert_eq!(status(&reply), "error");
+    let err = reply.get("error").expect("error body");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("bad_field"));
+    assert!(err
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("device"));
+    handle.shutdown();
+}
