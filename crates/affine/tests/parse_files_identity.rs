@@ -1,0 +1,68 @@
+//! `parse_files` determinism: parallel multi-file ingestion must be
+//! bit-identical to sequential, for any job count, including inputs
+//! that fail to parse (same convention as the sweep pool's
+//! `jobs_identity` test in `eatss-bench`).
+
+use eatss_affine::parser::gen::{generate_program, GenConfig};
+use eatss_affine::parser::parse_files;
+
+fn corpus() -> Vec<(String, String)> {
+    let cfg = GenConfig {
+        kernels: 2,
+        max_depth: 4,
+        max_stmts: 3,
+        max_expr_terms: 4,
+        trivia: true,
+    };
+    let mut sources: Vec<(String, String)> = (0..24)
+        .map(|seed| (format!("gen{seed}"), generate_program(seed, &cfg)))
+        .collect();
+    // A malformed file in the middle: per-file errors must also merge
+    // deterministically, not abort the batch.
+    sources.insert(
+        11,
+        (
+            "broken".to_owned(),
+            "kernel broken(N) { for (i: N) A[i] $ B[i]; }".to_owned(),
+        ),
+    );
+    sources
+}
+
+#[test]
+fn parallel_ingestion_is_bit_identical_to_sequential() {
+    let sources = corpus();
+    let sequential = parse_files(&sources, 1);
+    assert_eq!(sequential.len(), sources.len());
+    assert!(sequential[11].is_err());
+    assert_eq!(
+        sequential.iter().filter(|r| r.is_ok()).count(),
+        sources.len() - 1
+    );
+    for jobs in [0, 2, 4, 8] {
+        let parallel = parse_files(&sources, jobs);
+        assert_eq!(parallel, sequential, "jobs={jobs} diverged from sequential");
+    }
+}
+
+#[test]
+fn results_keep_input_order_and_names() {
+    let sources = corpus();
+    for (i, result) in parse_files(&sources, 4).iter().enumerate() {
+        if let Ok(program) = result {
+            assert_eq!(program.name, sources[i].0, "slot {i} out of order");
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_input_batches() {
+    assert!(parse_files(&[], 4).is_empty());
+    let one = vec![(
+        "solo".to_owned(),
+        "kernel solo(N) { for (i: N) A[i] = B[i]; }".to_owned(),
+    )];
+    let results = parse_files(&one, 8);
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].as_ref().unwrap().name, "solo");
+}

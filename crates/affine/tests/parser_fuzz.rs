@@ -1,0 +1,133 @@
+//! Fuzz harness for the front end (ROADMAP acceptance):
+//! seeded random programs → parse → `pretty_program` → re-parse fixpoint,
+//! plus adversarial inputs that must error cleanly — never panic, never
+//! overflow the stack.
+
+use eatss_affine::parser::gen::{generate_program, GenConfig};
+use eatss_affine::parser::{parse_program, reference, MAX_EXPR_DEPTH, MAX_LOOP_DEPTH};
+use eatss_affine::pretty::pretty_program;
+use proptest::prelude::*;
+
+proptest! {
+    /// parse → pretty → re-parse is a fixpoint on generated programs.
+    #[test]
+    fn pretty_roundtrip_fixpoint(seed in 0u64..2048) {
+        let cfg = GenConfig {
+            kernels: 3,
+            max_depth: 4,
+            max_stmts: 3,
+            max_expr_terms: 5,
+            trivia: true,
+        };
+        let src = generate_program(seed, &cfg);
+        let program = parse_program(&src).expect("generator emits valid programs");
+        let printed = pretty_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to re-parse (seed {seed}): {e}\n{printed}"));
+        prop_assert!(reparsed == program, "fixpoint violated for seed {}", seed);
+    }
+}
+
+#[test]
+fn overflowing_integer_literals_error_cleanly() {
+    for digits in [20, 64, 4096] {
+        let lit = "9".repeat(digits);
+        for src in [
+            format!("kernel f(N) {{ for (i: N) A[{lit}] = B[i]; }}"),
+            format!("kernel f(N) {{ for (i: {lit}) A[i] = B[i]; }}"),
+            format!("kernel f(N) {{ for (i: N) A[i] = {lit}; }}"),
+            format!("kernel f(N) {{ for (i: N) A[{lit}*i] = B[i]; }}"),
+        ] {
+            let e = parse_program(&src).unwrap_err();
+            assert!(e.message.contains("invalid integer literal"), "{e}");
+            assert_eq!(Err(e), reference::parse_program(&src));
+        }
+    }
+}
+
+#[test]
+fn unterminated_subscript_chains_error_cleanly() {
+    for src in [
+        "kernel f(N) { for (i: N) A[i",
+        "kernel f(N) { for (i: N) A[i][i",
+        "kernel f(N) { for (i: N) A[i+ = B[i]; }",
+        &("kernel f(N) { for (i: N) A".to_owned() + &"[i]".repeat(500) + "["),
+        &("kernel f(N) { for (i: N) A".to_owned() + &"[i+".repeat(200)),
+    ] {
+        let fast = parse_program(src);
+        assert!(fast.is_err(), "expected error for {src:?}");
+        assert_eq!(fast, reference::parse_program(src));
+    }
+}
+
+#[test]
+fn deep_nesting_is_bounded_not_a_stack_overflow() {
+    // 200 nested parens: far past MAX_EXPR_DEPTH, must be a clean error.
+    let parens = format!(
+        "kernel f(N) {{ for (i: N) A[i] = {}B[i]{}; }}",
+        "(".repeat(200),
+        ")".repeat(200)
+    );
+    let e = parse_program(&parens).unwrap_err();
+    assert!(
+        e.message
+            .contains(&format!("expression nesting exceeds {MAX_EXPR_DEPTH}")),
+        "{e}"
+    );
+    assert_eq!(Err(e), reference::parse_program(&parens));
+
+    // Unclosed variant — the recursion guard must fire before EOF handling.
+    let unclosed = format!("kernel f(N) {{ for (i: N) A[i] = {}", "(".repeat(200));
+    let fast = parse_program(&unclosed);
+    assert!(fast.is_err());
+    assert_eq!(fast, reference::parse_program(&unclosed));
+
+    // 200 nested fors: past MAX_LOOP_DEPTH, clean positioned error.
+    let mut fors = String::from("kernel f(N) { ");
+    for d in 0..200 {
+        fors.push_str(&format!("for (i{d}: 4) "));
+    }
+    fors.push_str("A[i0] = B[i0]; }");
+    let e = parse_program(&fors).unwrap_err();
+    assert!(
+        e.message
+            .contains(&format!("loop nesting exceeds {MAX_LOOP_DEPTH}")),
+        "{e}"
+    );
+    assert_eq!(Err(e), reference::parse_program(&fors));
+}
+
+#[test]
+fn arbitrary_ascii_soup_never_panics() {
+    // Deterministic byte soup across the dialect's alphabet — every
+    // outcome is fine except a panic, and both engines must agree.
+    let alphabet: &[u8] = b"kernelforseq(){}[],;:=+-*/0123456789.ABijxyz_ \n";
+    let mut state: u64 = 0x243f_6a88_85a3_08d3;
+    for case in 0..256 {
+        let len = 1 + (case % 97);
+        let mut src = String::with_capacity(len);
+        for _ in 0..len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            src.push(alphabet[(state >> 33) as usize % alphabet.len()] as char);
+        }
+        let fast = parse_program(&src);
+        let base = reference::parse_program(&src);
+        assert_eq!(fast, base, "engines diverge on soup {case}: {src:?}");
+    }
+}
+
+#[test]
+fn non_ascii_input_errors_cleanly() {
+    for src in [
+        "kernel f(N) { for (i: N) A[i] = B[i]; } λ",
+        "kérnel f(N) {}",
+        "kernel f(N) { for (i: N) A[i] = B[i]; // λλλ\n }",
+        "\u{feff}kernel f(N) { for (i: N) A[i] = B[i]; }",
+    ] {
+        let fast = parse_program(src);
+        let base = reference::parse_program(src);
+        assert_eq!(fast, base, "engines diverge on: {src:?}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Parser-throughput benchmark: the zero-copy arena front end against
+//! the retained tokenize-everything engine (`parser::reference`) on a
+//! seeded synthetic corpus plus the real benchmark registry, emitting
+//! `BENCH_parse.json` with per-tier MB/s and the aggregate wall ratio.
+//!
+//! Both engines parse the *same* sources and every resulting `Program`
+//! is cross-checked for equality before anything is timed — a mismatch
+//! is a bug, not a benchmark artifact.
+//!
+//! Usage: `bench_parse [--mode full|smoke] [--out PATH]`
+//!   --mode smoke   CI gate: small corpus, 3 reps, exit 1 if the
+//!                  aggregate wall ratio drops below 1.0
+//!   --out          output path (default: BENCH_parse.json)
+
+use eatss_affine::parser::gen::{generate_program, GenConfig};
+use eatss_affine::parser::{parse_named_program, reference};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Tier {
+    name: &'static str,
+    programs: Vec<String>,
+    bytes: usize,
+}
+
+struct TierResult {
+    name: &'static str,
+    programs: usize,
+    bytes: usize,
+    fast_wall_s: f64,
+    ref_wall_s: f64,
+}
+
+impl TierResult {
+    fn fast_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.fast_wall_s.max(1e-9) / 1e6
+    }
+    fn ref_mb_s(&self) -> f64 {
+        self.bytes as f64 / self.ref_wall_s.max(1e-9) / 1e6
+    }
+    fn wall_ratio(&self) -> f64 {
+        self.ref_wall_s / self.fast_wall_s.max(1e-9)
+    }
+}
+
+fn synthetic_tier(name: &'static str, seeds: u64, cfg: &GenConfig) -> Tier {
+    let programs: Vec<String> = (0..seeds).map(|s| generate_program(s, cfg)).collect();
+    let bytes = programs.iter().map(String::len).sum();
+    Tier {
+        name,
+        programs,
+        bytes,
+    }
+}
+
+/// The real 17+3 registry nests — small sources, but the shapes the
+/// daemon actually sees; repeated so the tier is long enough to time.
+fn registry_tier(reps: usize) -> Tier {
+    let mut programs = Vec::new();
+    for _ in 0..reps {
+        for b in eatss_kernels::all() {
+            programs.push(b.source.to_owned());
+        }
+    }
+    let bytes = programs.iter().map(String::len).sum();
+    Tier {
+        name: "registry",
+        programs,
+        bytes,
+    }
+}
+
+fn corpus(smoke: bool) -> Vec<Tier> {
+    let scale = if smoke { 1 } else { 8 };
+    vec![
+        synthetic_tier(
+            "tiny",
+            40 * scale,
+            &GenConfig {
+                kernels: 1,
+                max_depth: 2,
+                max_stmts: 1,
+                max_expr_terms: 2,
+                trivia: false,
+            },
+        ),
+        synthetic_tier(
+            "small",
+            30 * scale,
+            &GenConfig {
+                kernels: 2,
+                max_depth: 3,
+                max_stmts: 2,
+                max_expr_terms: 4,
+                trivia: true,
+            },
+        ),
+        synthetic_tier(
+            "medium",
+            20 * scale,
+            &GenConfig {
+                kernels: 4,
+                max_depth: 4,
+                max_stmts: 4,
+                max_expr_terms: 6,
+                trivia: true,
+            },
+        ),
+        // Machine-generated kernel suites: one program holding an entire
+        // workload's nests (the directory-ingest / generated-benchmark
+        // shape). This is where the engines structurally diverge: the
+        // reference materializes the whole token stream (~40 bytes per
+        // token, ~20x the source) before parsing, so large inputs churn
+        // the allocator and fall out of cache, while the single-pass
+        // engine's working set stays flat.
+        synthetic_tier(
+            "suite",
+            2,
+            &GenConfig {
+                kernels: if smoke { 500 } else { 4000 },
+                max_depth: 4,
+                max_stmts: 3,
+                max_expr_terms: 5,
+                trivia: true,
+            },
+        ),
+        synthetic_tier(
+            "suite-xl",
+            1,
+            &GenConfig {
+                kernels: if smoke { 1000 } else { 20000 },
+                max_depth: 4,
+                max_stmts: 3,
+                max_expr_terms: 5,
+                trivia: true,
+            },
+        ),
+        registry_tier(if smoke { 4 } else { 32 }),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+        .map_or("full", String::as_str);
+    let smoke = match mode {
+        "smoke" => true,
+        "full" => false,
+        other => {
+            eprintln!("unknown --mode `{other}` (expected full|smoke)");
+            std::process::exit(2);
+        }
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parse.json".to_owned());
+    let reps = if smoke { 3 } else { 7 };
+
+    let tiers = corpus(smoke);
+
+    // Cross-check outside the timed region: identical IR on every source.
+    for tier in &tiers {
+        for (i, src) in tier.programs.iter().enumerate() {
+            let fast = parse_named_program("bench", src);
+            let base = reference::parse_named_program("bench", src);
+            assert_eq!(fast, base, "engines diverge: tier {} #{i}", tier.name);
+            assert!(fast.is_ok(), "corpus program failed: tier {} #{i}", tier.name);
+        }
+    }
+
+    let mut results = Vec::new();
+    for tier in &tiers {
+        // Min-of-reps wall clock per engine; interleave engines per rep
+        // so neither systematically benefits from cache warm-up.
+        let mut fast_wall = f64::INFINITY;
+        let mut ref_wall = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for src in &tier.programs {
+                std::hint::black_box(parse_named_program("bench", src).unwrap());
+            }
+            fast_wall = fast_wall.min(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            for src in &tier.programs {
+                std::hint::black_box(reference::parse_named_program("bench", src).unwrap());
+            }
+            ref_wall = ref_wall.min(t0.elapsed().as_secs_f64());
+        }
+        let r = TierResult {
+            name: tier.name,
+            programs: tier.programs.len(),
+            bytes: tier.bytes,
+            fast_wall_s: fast_wall,
+            ref_wall_s: ref_wall,
+        };
+        println!(
+            "{:<9} {:>4} program(s) {:>9} B  fast {:>8.2} MB/s  reference {:>8.2} MB/s  x{:.2}",
+            r.name,
+            r.programs,
+            r.bytes,
+            r.fast_mb_s(),
+            r.ref_mb_s(),
+            r.wall_ratio()
+        );
+        results.push(r);
+    }
+
+    let total_bytes: usize = results.iter().map(|r| r.bytes).sum();
+    let fast_wall: f64 = results.iter().map(|r| r.fast_wall_s).sum();
+    let ref_wall: f64 = results.iter().map(|r| r.ref_wall_s).sum();
+    let fast_mb_s = total_bytes as f64 / fast_wall.max(1e-9) / 1e6;
+    let ref_mb_s = total_bytes as f64 / ref_wall.max(1e-9) / 1e6;
+    let wall_ratio = ref_wall / fast_wall.max(1e-9);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"parser_front_end\",\n  \"mode\": \"{}\",\n  \"reps\": {},\n  \"provenance\": {},\n  \"corpus\": [\n",
+        mode,
+        reps,
+        eatss_trace::Provenance::collect(Some(1)).to_json()
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"tier\": \"{}\", \"programs\": {}, \"bytes\": {}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"fast_mb_s\": {:.2}, \"reference_mb_s\": {:.2}, \"wall_ratio\": {:.3}}}{}",
+            r.name,
+            r.programs,
+            r.bytes,
+            r.fast_wall_s,
+            r.ref_wall_s,
+            r.fast_mb_s(),
+            r.ref_mb_s(),
+            r.wall_ratio(),
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"aggregate\": {{\"tiers\": {}, \"bytes\": {}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"fast_mb_s\": {:.2}, \"reference_mb_s\": {:.2}, \"wall_ratio\": {:.3}}}\n}}\n",
+        results.len(),
+        total_bytes,
+        fast_wall,
+        ref_wall,
+        fast_mb_s,
+        ref_mb_s,
+        wall_ratio
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_parse.json");
+
+    println!(
+        "\naggregate: {total_bytes} B  fast {fast_mb_s:.2} MB/s  reference {ref_mb_s:.2} MB/s  x{wall_ratio:.2}  -> {out_path}"
+    );
+    if smoke && wall_ratio < 1.0 {
+        eprintln!("FAIL: aggregate wall ratio {wall_ratio:.3} < 1.0 — the zero-copy engine regressed below the reference");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! options:
 //!   --kernel NAME              alias for the positional input
+//!   --kernel-dir DIR           parse every *.eatss file in DIR (in
+//!                              parallel with --jobs) and report per-file
+//!                              results instead of running the selector
 //!   --arch NAME|PATH           target GPU: a builtin device profile
 //!                              (ga100, xavier, h100, orin, nano) or a
 //!                              JSON/TOML profile file (default: ga100)
@@ -32,7 +35,7 @@
 use eatss::{Eatss, EatssConfig, ModelGenerator, Precision, SweepOptions, ThreadBlockCap};
 use eatss_affine::parser::parse_program;
 use eatss_affine::tiling::TileConfig;
-use eatss_affine::{ProblemSizes, Program};
+use eatss_affine::{Kernel, ProblemSizes, Program};
 use eatss_gpusim::GpuArch;
 use eatss_ppcg::Ppcg;
 use eatss_smt::SolverConfig;
@@ -42,6 +45,7 @@ use std::time::Duration;
 
 struct Options {
     input: String,
+    kernel_dir: Option<String>,
     arch: GpuArch,
     config: EatssConfig,
     sizes: Vec<(String, i64)>,
@@ -61,7 +65,7 @@ struct Options {
 
 fn usage() -> ExitCode {
     eatss_trace::error!(
-        "usage: eatss <kernel.eatss | benchmark-name> [--kernel NAME] \
+        "usage: eatss <kernel.eatss | benchmark-name> [--kernel NAME] [--kernel-dir DIR] \
          [--arch NAME|PROFILE.json] [--split F] [--warp-frac F] [--fp32] [--strict-cap] \
          [--size NAME=VALUE]... [--dataset standard|xl] [--sweep] [--jobs N] \
          [--deadline-ms N] [--emit-smt] [--emit-cuda] [--evaluate] \
@@ -97,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
         input: String::new(),
+        kernel_dir: None,
         arch: GpuArch::ga100(),
         config: EatssConfig::default(),
         sizes: Vec::new(),
@@ -192,6 +197,9 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.input = name;
             }
+            "--kernel-dir" => {
+                opts.kernel_dir = Some(next_value(&mut args, "--kernel-dir")?);
+            }
             "--trace" => opts.trace = Some(next_value(&mut args, "--trace")?),
             "--trace-format" => {
                 let text = next_value(&mut args, "--trace-format")?;
@@ -214,7 +222,11 @@ fn parse_args() -> Result<Options, String> {
             }
         }
     }
-    if opts.input.is_empty() {
+    if opts.kernel_dir.is_some() {
+        if !opts.input.is_empty() {
+            return Err("--kernel-dir cannot be combined with an input kernel".to_owned());
+        }
+    } else if opts.input.is_empty() {
         return Err("no input kernel".to_owned());
     }
     // A trace should cover the whole solve -> codegen -> simulate
@@ -244,7 +256,65 @@ fn load_program(opts: &Options) -> Result<(Program, ProblemSizes), String> {
     Ok((program, sizes))
 }
 
+/// `--kernel-dir`: batch-parse every `*.eatss` file in a directory on
+/// the scoped pool and print a deterministic per-file report to stdout.
+///
+/// Files are sorted by name and results merge in input order, so the
+/// output is byte-identical for any `--jobs` value — CI pins this with
+/// a literal `cmp` between `--jobs 1` and `--jobs 4` runs.
+fn run_kernel_dir(dir: &str, opts: &Options) -> Result<(), String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "eatss"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .eatss files in `{dir}`"));
+    }
+    let sources: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            std::fs::read_to_string(p)
+                .map(|src| (name, src))
+                .map_err(|e| format!("cannot read `{}`: {e}", p.display()))
+        })
+        .collect::<Result<_, _>>()?;
+    let results = eatss_affine::parser::parse_files(&sources, opts.jobs);
+    let mut failed = 0usize;
+    for ((name, src), result) in sources.iter().zip(&results) {
+        match result {
+            Ok(program) => {
+                let stmts: usize = program.kernels.iter().map(|k| k.stmts.len()).sum();
+                println!(
+                    "{name}: ok ({} kernel(s), max depth {}, {stmts} stmt(s), {} byte(s))",
+                    program.kernels.len(),
+                    program.kernels.iter().map(Kernel::depth).max().unwrap_or(0),
+                    src.len()
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("{name}: FAILED");
+                println!("{}", eatss_affine::parser::render_snippet(src, e));
+            }
+        }
+    }
+    println!("parsed {}/{} file(s)", results.len() - failed, results.len());
+    if failed > 0 {
+        return Err(format!("{failed} file(s) failed to parse"));
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    if let Some(dir) = &opts.kernel_dir {
+        return run_kernel_dir(dir, opts);
+    }
     let (program, sizes) = load_program(opts)?;
     let eatss = Eatss::new(opts.arch.clone());
     eatss_trace::debug!(

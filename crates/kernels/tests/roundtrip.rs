@@ -1,0 +1,29 @@
+//! Every registered benchmark nest must survive the front end twice
+//! over: the zero-copy engine must agree with `parser::reference` on its
+//! source, and `parse(pretty(p)) == p` (the ROADMAP round-trip
+//! acceptance for the real front end).
+
+use eatss_affine::parser::{parse_named_program, reference};
+use eatss_affine::pretty::pretty_program;
+use eatss_kernels::all;
+
+#[test]
+fn every_benchmark_parses_identically_in_both_engines() {
+    for bench in all() {
+        let fast = parse_named_program(bench.name, bench.source);
+        let base = reference::parse_named_program(bench.name, bench.source);
+        assert_eq!(fast, base, "engines diverge on `{}`", bench.name);
+        assert!(fast.is_ok(), "`{}` failed to parse", bench.name);
+    }
+}
+
+#[test]
+fn every_benchmark_roundtrips_through_pretty() {
+    for bench in all() {
+        let program = bench.program().unwrap();
+        let printed = pretty_program(&program);
+        let reparsed = parse_named_program(&program.name, &printed)
+            .unwrap_or_else(|e| panic!("`{}` pretty output failed to re-parse: {e}", bench.name));
+        assert_eq!(reparsed, program, "`{}` is not a fixpoint", bench.name);
+    }
+}

@@ -39,7 +39,8 @@ use eatss::{
     PersistentTileCache, SolutionProvenance, TileCacheStats,
 };
 use eatss_affine::ir::Extent;
-use eatss_affine::{parser::parse_program, ProblemSizes, Program};
+use eatss_affine::parser::{parse_program, ParseError};
+use eatss_affine::{ProblemSizes, Program};
 use eatss_gpusim::{FaultPlan, Gpu, GpuArch, SimReport};
 use eatss_kernels::Dataset;
 use eatss_ppcg::oracle::verify_sizes;
@@ -322,6 +323,13 @@ struct Shared {
     /// next solve's incumbent. Bounded LRU; purely an accelerator —
     /// complete solves return identical results with or without hints.
     warm: Mutex<Vec<(u64, WarmStart)>>,
+    /// Parse-path cache for inline `source` requests: FNV of the source
+    /// bytes → parsed [`Program`]. Repeated submissions of the same
+    /// kernel text (autotuners resweeping, clients retrying) skip the
+    /// front end entirely. Bounded LRU like [`Shared::warm`]; the full
+    /// source is kept and compared on hit, so a hash collision can never
+    /// serve the wrong program.
+    parse_cache: Mutex<Vec<(u64, String, Program)>>,
     /// Bounded per-request span-tree rings (`trace` op).
     flight: Mutex<FlightRecorder>,
     /// Line-buffered JSON-lines access log (one `write_all` per line).
@@ -340,6 +348,7 @@ struct ServeHistograms {
     queue_us: &'static Histogram,
     solve_us: &'static Histogram,
     journal_append_us: &'static Histogram,
+    parse_us: &'static Histogram,
 }
 
 impl ServeHistograms {
@@ -349,6 +358,7 @@ impl ServeHistograms {
             queue_us: eatss_trace::histogram("serve.queue_us"),
             solve_us: eatss_trace::histogram("serve.solve_us"),
             journal_append_us: eatss_trace::histogram("serve.journal_append_us"),
+            parse_us: eatss_trace::histogram("serve.parse_us"),
         }
     }
 }
@@ -362,6 +372,9 @@ static ACTIVE_LANES: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
 
 /// Entries kept in [`Shared::warm`].
 const WARM_POOL_CAP: usize = 32;
+
+/// Entries kept in [`Shared::parse_cache`].
+const PARSE_CACHE_CAP: usize = 64;
 
 impl Shared {
     fn shutting_down(&self) -> bool {
@@ -708,6 +721,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         counters: Counters::default(),
         conns: Mutex::new(Vec::new()),
         warm: Mutex::new(Vec::new()),
+        parse_cache: Mutex::new(Vec::new()),
         flight: Mutex::new(flight),
         access_log,
         hist: ServeHistograms::new(),
@@ -1268,8 +1282,17 @@ fn resolve_request(
         return Ok((program, sizes, arch));
     }
 
-    let source = select.source.as_deref().expect("kernel or source required");
-    let program = parse_program(source).map_err(|e| ProtocolError::BadSource(e.to_string()))?;
+    let source = require_source(select)?;
+    let t0 = Instant::now();
+    let parsed = cached_parse(&shared.parse_cache, source);
+    shared
+        .hist
+        .parse_us
+        .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    let (program, cache_hit) = parsed.map_err(|e| ProtocolError::BadSource(e.to_string()))?;
+    if cache_hit {
+        eatss_trace::counter_add("parse.cache_hits", 1);
+    }
     let sizes = match &select.sizes {
         SizeSpec::Uniform(n) => {
             let params = param_names(&program);
@@ -1282,6 +1305,64 @@ fn resolve_request(
         }
     };
     Ok((program, sizes, arch))
+}
+
+/// A select request must name either a registered `kernel` or carry
+/// inline `source`. The protocol layer lets both be absent (other ops
+/// share the envelope), so the resolver enforces it as a typed
+/// `bad_field` error instead of panicking the worker.
+fn require_source(select: &SelectRequest) -> Result<&str, ProtocolError> {
+    select.source.as_deref().ok_or(ProtocolError::BadField {
+        field: "source",
+        expected: "either `kernel` or `source` on a select request",
+    })
+}
+
+/// FNV-1a over the raw source bytes — the [`Shared::parse_cache`] key.
+fn fnv_source(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Parses `source`, consulting the shared parse cache first. Returns the
+/// program and whether it was a cache hit. Parsing happens outside the
+/// lock; on a hit the entry's full source is compared so a hash
+/// collision degrades to a miss, never a wrong program. Parse errors are
+/// not cached — a failing client retrying pays the parse each time, but
+/// the cache can never pin a stale error.
+fn cached_parse(
+    parse_cache: &Mutex<Vec<(u64, String, Program)>>,
+    source: &str,
+) -> Result<(Program, bool), ParseError> {
+    let key = fnv_source(source.as_bytes());
+    {
+        let mut cache = parse_cache.lock().unwrap();
+        if let Some(i) = cache
+            .iter()
+            .position(|(k, src, _)| *k == key && src == source)
+        {
+            let entry = cache.remove(i);
+            let program = entry.2.clone();
+            cache.push(entry);
+            return Ok((program, true));
+        }
+    }
+    let program = parse_program(source)?;
+    let mut cache = parse_cache.lock().unwrap();
+    if !cache
+        .iter()
+        .any(|(k, src, _)| *k == key && src == source)
+    {
+        if cache.len() == PARSE_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, source.to_owned(), program.clone()));
+    }
+    Ok((program, false))
 }
 
 fn param_names(program: &Program) -> BTreeSet<String> {
@@ -2129,4 +2210,83 @@ fn write_line(stream: &mut Stream, line: &str) -> io::Result<()> {
     framed.push('\n');
     stream.write_all(framed.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select_with(kernel: Option<&str>, source: Option<&str>) -> SelectRequest {
+        SelectRequest {
+            kernel: kernel.map(str::to_owned),
+            source: source.map(str::to_owned),
+            sizes: SizeSpec::Uniform(64),
+            split: 0.5,
+            warp_fraction: 1.0,
+            fp32: false,
+            strict_cap: false,
+            arch: None,
+            deadline_ms: None,
+            evaluate: false,
+            verify: false,
+            chaos: None,
+        }
+    }
+
+    const NEST: &str = "kernel k(N) { for (i: N) A[i] = B[i] + 1; }";
+
+    #[test]
+    fn require_source_is_a_typed_error_not_a_panic() {
+        let select = select_with(None, None);
+        match require_source(&select) {
+            Err(ProtocolError::BadField { field, .. }) => assert_eq!(field, "source"),
+            other => panic!("expected bad_field, got {other:?}"),
+        }
+        assert_eq!(require_source(&select_with(None, Some(NEST))), Ok(NEST));
+    }
+
+    #[test]
+    fn cached_parse_hits_on_repeat_and_preserves_the_program() {
+        let cache = Mutex::new(Vec::new());
+        let (first, hit) = cached_parse(&cache, NEST).unwrap();
+        assert!(!hit, "first parse must be a miss");
+        let (second, hit) = cached_parse(&cache, NEST).unwrap();
+        assert!(hit, "identical source must hit");
+        assert_eq!(first, second);
+        assert_eq!(first, parse_program(NEST).unwrap());
+        assert_eq!(cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cached_parse_does_not_cache_errors() {
+        let cache = Mutex::new(Vec::new());
+        assert!(cached_parse(&cache, "kernel oops").is_err());
+        assert!(cache.lock().unwrap().is_empty());
+        assert!(cached_parse(&cache, "kernel oops").is_err());
+    }
+
+    #[test]
+    fn cached_parse_evicts_least_recently_used_at_cap() {
+        let cache = Mutex::new(Vec::new());
+        let sources: Vec<String> = (0..=PARSE_CACHE_CAP)
+            .map(|i| format!("kernel k{i}(N) {{ for (i: N) A[i] = B[i]; }}"))
+            .collect();
+        // Fill to cap, then refresh entry 0 so entry 1 is the LRU victim.
+        for src in &sources[..PARSE_CACHE_CAP] {
+            cached_parse(&cache, src).unwrap();
+        }
+        assert!(cached_parse(&cache, &sources[0]).unwrap().1);
+        cached_parse(&cache, &sources[PARSE_CACHE_CAP]).unwrap();
+        assert_eq!(cache.lock().unwrap().len(), PARSE_CACHE_CAP);
+        assert!(!cached_parse(&cache, &sources[1]).unwrap().1, "LRU entry must have been evicted");
+        assert!(cached_parse(&cache, &sources[0]).unwrap().1, "refreshed entry must survive");
+    }
+
+    #[test]
+    fn fnv_distinguishes_realistic_sources() {
+        let a = fnv_source(NEST.as_bytes());
+        let b = fnv_source(b"kernel k(N) { for (i: N) A[i] = B[i] + 2; }");
+        assert_ne!(a, b);
+        assert_eq!(a, fnv_source(NEST.as_bytes()));
+    }
 }

@@ -527,3 +527,81 @@ fn device_field_scopes_requests_and_rejects_unknown_names() {
         .contains("device"));
     handle.shutdown();
 }
+
+#[test]
+fn select_without_kernel_or_source_is_typed_and_worker_survives() {
+    // Regression: a select carrying neither `kernel` nor `source` used to
+    // reach the resolver's `.expect("kernel or source required")`. The
+    // protocol layer answers `missing_field` and the resolver itself now
+    // degrades to a typed `bad_field` — either way, no worker panics and
+    // the connection keeps serving.
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+
+    let reply = client
+        .request_line(r#"{"op": "select", "n": 64}"#)
+        .unwrap();
+    assert_eq!(status(&reply), "error");
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("missing_field")
+    );
+
+    assert_eq!(status(&client.ping().unwrap()), "ok");
+    assert_eq!(handle.stats().panics_caught, 0, "no worker panic");
+    handle.shutdown();
+}
+
+#[test]
+fn inline_source_selects_are_served_from_the_parse_cache() {
+    let handle = test_server(|_| {});
+    let mut client = connect(&handle);
+
+    let counter = |client: &mut Client, name: &str| -> f64 {
+        client
+            .metrics()
+            .unwrap()
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    // Counters are process-global, so assert monotone deltas rather than
+    // absolute values.
+    let bytes_before = counter(&mut client, "parse.bytes");
+    let hits_before = counter(&mut client, "parse.cache_hits");
+
+    let source = "kernel scaled_copy(N) { for (i: N) out_buf[i] = in_buf[i] * 0.5; }";
+    let args = SelectArgs {
+        source: Some(source.to_string()),
+        n: Some(256),
+        ..SelectArgs::default()
+    };
+    assert_eq!(status(&client.select(&args).unwrap()), "ok");
+    assert_eq!(status(&client.select(&args).unwrap()), "ok");
+
+    let bytes_after = counter(&mut client, "parse.bytes");
+    let hits_after = counter(&mut client, "parse.cache_hits");
+    assert!(
+        bytes_after >= bytes_before + source.len() as f64,
+        "first select must parse the source: {bytes_before} -> {bytes_after}"
+    );
+    assert!(
+        hits_after >= hits_before + 1.0,
+        "second identical select must hit the parse cache: {hits_before} -> {hits_after}"
+    );
+
+    // The front-end stage has its own latency histogram.
+    let parse_us = client
+        .metrics()
+        .unwrap()
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get("serve.parse_us"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(parse_us >= 2.0, "both selects time the parse stage: {parse_us}");
+    handle.shutdown();
+}
